@@ -1,0 +1,72 @@
+// Shared output helpers for the paper-reproduction benches.
+//
+// Every bench prints a self-describing table: the paper artifact it
+// regenerates, the sweep axis, and one column per configuration. Output
+// is whitespace-aligned for humans and trivially machine-parsable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pg::bench {
+
+inline void print_title(const std::string& title, const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n");
+}
+
+class SeriesTable {
+ public:
+  SeriesTable(std::string axis, std::vector<std::string> columns)
+      : axis_(std::move(axis)), columns_(std::move(columns)) {}
+
+  void add_row(const std::string& x, const std::vector<double>& values) {
+    rows_.push_back({x, values});
+  }
+
+  void print(const char* fmt = "%12.2f") const {
+    std::printf("%-14s", axis_.c_str());
+    for (const auto& c : columns_) std::printf(" %20s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%-14s", row.x.c_str());
+      for (double v : row.values) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), fmt, v);
+        std::printf(" %20s", buf);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+ private:
+  struct Row {
+    std::string x;
+    std::vector<double> values;
+  };
+  std::string axis_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Human-readable byte size ("64", "4K", "1M").
+inline std::string size_label(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(bytes / (1024 * 1024)));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluK",
+                  static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace pg::bench

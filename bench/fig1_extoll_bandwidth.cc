@@ -1,0 +1,45 @@
+// Reproduces Fig. 1b: EXTOLL streaming bandwidth vs transfer size.
+//
+// Paper shape: a persistent gap between GPU-controlled and CPU-controlled
+// streaming (requester-notification polling from the GPU), saturation
+// below 1 GB/s, and a bandwidth DROP for messages beyond 1 MiB caused by
+// the PCIe peer-to-peer read pathology.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/extoll_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::TransferMode;
+  bench::print_title("Fig 1b - EXTOLL RMA streaming bandwidth [MB/s]",
+                     "GPU->GPU puts; note the drop past 1M (P2P reads)");
+  const auto cfg = sys::extoll_testbed();
+  const TransferMode modes[] = {TransferMode::kGpuDirect,
+                                TransferMode::kHostAssisted,
+                                TransferMode::kHostControlled};
+  bench::SeriesTable table("size[B]",
+                           {"dev2dev-direct", "dev2dev-assisted",
+                            "dev2dev-hostControlled"});
+  for (std::uint32_t size :
+       {64u, 256u, 1024u, 4096u, 16384u, 65536u, 262144u, 1048576u,
+        4194304u}) {
+    // Keep total volume roughly constant so runs stay comparable.
+    const std::uint32_t messages =
+        std::max<std::uint32_t>(6, std::min<std::uint32_t>(64, (8u << 20) / size));
+    std::vector<double> row;
+    for (TransferMode mode : modes) {
+      const auto r = putget::run_extoll_bandwidth(cfg, mode, size, messages);
+      if (!r.payload_ok) {
+        std::fprintf(stderr, "FAILED: %s at %u bytes\n",
+                     putget::transfer_mode_name(mode), size);
+        return 1;
+      }
+      row.push_back(r.mb_per_s);
+    }
+    table.add_row(bench::size_label(size), row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 1a: EXTOLL ping-pong latency vs transfer size for the
+// four transfer modes.
+//
+// Paper shape: dev2dev-direct is roughly 2x dev2dev-hostControlled at
+// small sizes (system-memory notification polling); dev2dev-pollOnGPU
+// drops below dev2dev-assisted; all modes converge as the transfer
+// itself dominates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/extoll_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::TransferMode;
+  bench::print_title(
+      "Fig 1a - EXTOLL RMA ping-pong latency [us]",
+      "modes: direct (notif polling), pollOnGPU, assisted, hostControlled");
+  const auto cfg = sys::extoll_testbed();
+  const TransferMode modes[] = {
+      TransferMode::kGpuDirect, TransferMode::kGpuPollDevice,
+      TransferMode::kHostAssisted, TransferMode::kHostControlled};
+  bench::SeriesTable table("size[B]", {"dev2dev-direct", "dev2dev-pollOnGPU",
+                                       "dev2dev-assisted",
+                                       "dev2dev-hostControlled"});
+  for (std::uint32_t size : {4u, 16u, 64u, 256u, 1024u, 4096u, 16384u,
+                             65536u, 262144u}) {
+    const std::uint32_t iters = size >= 65536 ? 20 : 40;
+    std::vector<double> row;
+    for (TransferMode mode : modes) {
+      const auto r = putget::run_extoll_pingpong(cfg, mode, size, iters);
+      if (!r.payload_ok) {
+        std::fprintf(stderr, "FAILED: %s at %u bytes\n",
+                     putget::transfer_mode_name(mode), size);
+        return 1;
+      }
+      row.push_back(r.half_rtt_us);
+    }
+    table.add_row(bench::size_label(size), row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 2: sustained EXTOLL message rate for 64-byte puts vs
+// number of connection pairs.
+//
+// Paper shape: host-controlled is fastest; host-assisted sits below it
+// (single serving thread) and above the GPU variants at low pair counts;
+// dev2dev-blocks and dev2dev-kernels track each other and climb with the
+// pair count (each block posts ONE put per kernel, so launch overhead is
+// part of every message).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/extoll_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::RateVariant;
+  bench::print_title("Fig 2 - EXTOLL message rate [msgs/s], 64 B puts",
+                     "axis: connection pairs between the two nodes");
+  const auto cfg = sys::extoll_testbed();
+  const RateVariant variants[] = {
+      RateVariant::kBlocks, RateVariant::kKernels, RateVariant::kAssisted,
+      RateVariant::kHostControlled};
+  bench::SeriesTable table("pairs", {"dev2dev-blocks", "dev2dev-kernels",
+                                     "dev2dev-assisted",
+                                     "dev2dev-hostControlled"});
+  for (std::uint32_t pairs : {1u, 2u, 4u, 8u, 16u, 24u, 32u}) {
+    const std::uint32_t msgs = 40;
+    std::vector<double> row;
+    for (RateVariant v : variants) {
+      const auto r = putget::run_extoll_msgrate(cfg, v, pairs, msgs);
+      if (r.msgs_per_s <= 0) {
+        std::fprintf(stderr, "FAILED: %s at %u pairs\n",
+                     putget::rate_variant_name(v), pairs);
+        return 1;
+      }
+      row.push_back(r.msgs_per_s);
+    }
+    table.add_row(std::to_string(pairs), row);
+  }
+  table.print("%12.0f");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 3: the ratio of time spent polling for completion to
+// time spent generating/posting the WR, for both EXTOLL polling
+// approaches, across payload sizes.
+//
+// Paper shape: for small messages, system-memory notification polling
+// costs ~10x the WR posting time while device-memory polling costs only
+// a few times the posting time; for large messages the data transfer
+// dominates the polling phase and the two approaches converge.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/extoll_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::TransferMode;
+  bench::print_title(
+      "Fig 3 - polling time / WR posting time, EXTOLL RMA",
+      "system memory = notification queues; device memory = last element");
+  const auto cfg = sys::extoll_testbed();
+  bench::SeriesTable table("payload[B]",
+                           {"system memory", "device memory"});
+  for (std::uint32_t size :
+       {4u, 16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u, 262144u,
+        1048576u, 4194304u, 16777216u, 67108864u}) {
+    const std::uint32_t iters = size >= 1048576 ? 4 : 20;
+    const auto sysm =
+        putget::run_extoll_pingpong(cfg, TransferMode::kGpuDirect, size,
+                                    iters);
+    const auto devm = putget::run_extoll_pingpong(
+        cfg, TransferMode::kGpuPollDevice, size, iters);
+    if (!sysm.payload_ok || !devm.payload_ok) {
+      std::fprintf(stderr, "FAILED at %u bytes\n", size);
+      return 1;
+    }
+    const double sys_ratio =
+        sysm.post_sum_us > 0 ? sysm.poll_sum_us / sysm.post_sum_us : 0;
+    const double dev_ratio =
+        devm.post_sum_us > 0 ? devm.poll_sum_us / devm.post_sum_us : 0;
+    table.add_row(bench::size_label(size), {sys_ratio, dev_ratio});
+  }
+  table.print();
+  return 0;
+}

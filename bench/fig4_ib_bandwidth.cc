@@ -1,0 +1,50 @@
+// Reproduces Fig. 4b: InfiniBand streaming bandwidth vs transfer size.
+//
+// Paper shape: bandwidth saturates around 1 GB/s despite the 6.8 GB/s
+// FDR link (PCIe peer-to-peer read ceiling on the GPU source) and
+// decreases for messages beyond 1 MiB.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::QueueLocation;
+  using putget::TransferMode;
+  bench::print_title("Fig 4b - InfiniBand streaming bandwidth [MB/s]",
+                     "GPU->GPU RDMA writes");
+  const auto cfg = sys::ib_testbed();
+  bench::SeriesTable table(
+      "size[B]", {"dev2dev-bufOnGPU", "dev2dev-bufOnHost",
+                  "dev2dev-assisted", "dev2dev-hostControlled"});
+  for (std::uint32_t size :
+       {64u, 256u, 1024u, 4096u, 16384u, 65536u, 262144u, 1048576u,
+        4194304u}) {
+    const std::uint32_t messages =
+        std::max<std::uint32_t>(6, std::min<std::uint32_t>(48, (8u << 20) / size));
+    struct Case {
+      TransferMode mode;
+      QueueLocation loc;
+    };
+    const Case cases[] = {
+        {TransferMode::kGpuDirect, QueueLocation::kGpuMemory},
+        {TransferMode::kGpuDirect, QueueLocation::kHostMemory},
+        {TransferMode::kHostAssisted, QueueLocation::kHostMemory},
+        {TransferMode::kHostControlled, QueueLocation::kHostMemory}};
+    std::vector<double> row;
+    for (const Case& c : cases) {
+      const auto r =
+          putget::run_ib_bandwidth(cfg, c.mode, c.loc, size, messages);
+      if (!r.payload_ok) {
+        std::fprintf(stderr, "FAILED at %u bytes\n", size);
+        return 1;
+      }
+      row.push_back(r.mb_per_s);
+    }
+    table.add_row(bench::size_label(size), row);
+  }
+  table.print();
+  return 0;
+}

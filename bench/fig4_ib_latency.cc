@@ -1,0 +1,49 @@
+// Reproduces Fig. 4a: InfiniBand ping-pong latency vs transfer size.
+//
+// Paper shape: GPU-initiated latency is several times the host-initiated
+// latency for small messages (the ~hundreds-of-instructions WQE
+// generation on a single weak GPU thread); queue placement (bufOnGPU vs
+// bufOnHost) makes only a small difference; all modes converge at large
+// sizes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::QueueLocation;
+  using putget::TransferMode;
+  bench::print_title("Fig 4a - InfiniBand ping-pong latency [us]",
+                     "GPU-driven with queues on GPU or host memory");
+  const auto cfg = sys::ib_testbed();
+  bench::SeriesTable table(
+      "size[B]", {"dev2dev-bufOnGPU", "dev2dev-bufOnHost",
+                  "dev2dev-assisted", "dev2dev-hostControlled"});
+  for (std::uint32_t size : {4u, 16u, 64u, 256u, 1024u, 4096u, 16384u,
+                             65536u, 262144u}) {
+    const std::uint32_t iters = size >= 65536 ? 15 : 30;
+    struct Case {
+      TransferMode mode;
+      QueueLocation loc;
+    };
+    const Case cases[] = {
+        {TransferMode::kGpuDirect, QueueLocation::kGpuMemory},
+        {TransferMode::kGpuDirect, QueueLocation::kHostMemory},
+        {TransferMode::kHostAssisted, QueueLocation::kHostMemory},
+        {TransferMode::kHostControlled, QueueLocation::kHostMemory}};
+    std::vector<double> row;
+    for (const Case& c : cases) {
+      const auto r = putget::run_ib_pingpong(cfg, c.mode, c.loc, size, iters);
+      if (!r.payload_ok) {
+        std::fprintf(stderr, "FAILED at %u bytes\n", size);
+        return 1;
+      }
+      row.push_back(r.half_rtt_us);
+    }
+    table.add_row(bench::size_label(size), row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Fig. 5: sustained InfiniBand message rate for 64-byte RDMA
+// writes vs number of QP connection pairs.
+//
+// Paper shape: per-QP parallelism lets the GPU variants scale almost
+// linearly and approach host-initiated rates at many connections; the
+// host-assisted variant plateaus beyond ~4 pairs because a single CPU
+// thread serves every connection.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::RateVariant;
+  bench::print_title("Fig 5 - InfiniBand message rate [msgs/s], 64 B writes",
+                     "axis: QP connection pairs between the two nodes");
+  const auto cfg = sys::ib_testbed();
+  const RateVariant variants[] = {
+      RateVariant::kBlocks, RateVariant::kKernels, RateVariant::kAssisted,
+      RateVariant::kHostControlled};
+  bench::SeriesTable table("pairs", {"dev2dev-blocks", "dev2dev-kernels",
+                                     "dev2dev-assisted",
+                                     "dev2dev-hostControlled"});
+  for (std::uint32_t pairs : {1u, 2u, 4u, 8u, 16u, 24u, 32u}) {
+    const std::uint32_t msgs = 40;
+    std::vector<double> row;
+    for (RateVariant v : variants) {
+      const auto r = putget::run_ib_msgrate(cfg, v, pairs, msgs);
+      if (r.msgs_per_s <= 0) {
+        std::fprintf(stderr, "FAILED: %s at %u pairs\n",
+                     putget::rate_variant_name(v), pairs);
+        return 1;
+      }
+      row.push_back(r.msgs_per_s);
+    }
+    table.add_row(std::to_string(pairs), row);
+  }
+  table.print("%12.0f");
+  return 0;
+}

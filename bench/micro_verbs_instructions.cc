@@ -1,0 +1,36 @@
+// Reproduces Sec. V-B.3: the instruction cost of the GPU-resident verbs
+// calls.
+//
+// Paper: 442 instructions to post a work request (ibv_post_send), 283
+// for one successful completion poll (ibv_poll_cq). Our port is leaner
+// than the full libibverbs/libmlx4 stack, so the absolute counts are
+// lower; the reproduction target is the order of magnitude and the
+// conclusion: hundreds of dependent instructions on a single weak GPU
+// thread per posted message.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  bench::print_title("Sec V-B.3 - device-side verbs instruction counts",
+                     "single ibv_post_send / single successful ibv_poll_cq");
+  for (auto loc : {putget::QueueLocation::kGpuMemory,
+                   putget::QueueLocation::kHostMemory}) {
+    const auto counts =
+        putget::measure_verbs_instruction_counts(sys::ib_testbed(), loc);
+    std::printf("queues in %s:\n", putget::queue_location_name(loc));
+    std::printf("  ibv_post_send : %6llu instructions, %4llu memory "
+                "accesses   (paper: 442 instructions)\n",
+                static_cast<unsigned long long>(counts.post_send_instructions),
+                static_cast<unsigned long long>(
+                    counts.post_send_mem_accesses));
+    std::printf("  ibv_poll_cq   : %6llu instructions, %4llu memory "
+                "accesses   (paper: 283 instructions)\n",
+                static_cast<unsigned long long>(counts.poll_cq_instructions),
+                static_cast<unsigned long long>(counts.poll_cq_mem_accesses));
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Simulator micro-benchmarks (google-benchmark): host-time cost of the
+// event engine, the PTX-lite interpreter, the L2 model, and a full
+// ping-pong experiment. These guard the simulator's own performance so
+// the figure sweeps stay fast.
+#include <benchmark/benchmark.h>
+
+#include "gpu/assembler.h"
+#include "gpu/device.h"
+#include "gpu/l2cache.h"
+#include "mem/memory_domain.h"
+#include "pcie/fabric.h"
+#include "putget/extoll_experiments.h"
+#include "sim/simulation.h"
+#include "sys/testbed.h"
+
+namespace {
+
+using namespace pg;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i * 10, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_L2CacheAccess(benchmark::State& state) {
+  gpu::L2Cache l2(gpu::L2Config{});
+  std::uint64_t addr = mem::AddressMap::kGpuDramBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l2.access(addr, false));
+    addr += 32;
+    if (addr > mem::AddressMap::kGpuDramBase + (1 << 22)) {
+      addr = mem::AddressMap::kGpuDramBase;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2CacheAccess);
+
+void BM_InterpreterAluLoop(benchmark::State& state) {
+  // A tight 10k-iteration ALU loop, interpreted.
+  gpu::Assembler a("alu_loop");
+  const gpu::Reg n(8), x(9), p(10);
+  a.movi(n, 0);
+  a.movi(x, 1);
+  a.bind("loop");
+  a.muli(x, x, 3);
+  a.addi(x, x, 7);
+  a.xor_(x, x, n);
+  a.addi(n, n, 1);
+  a.setpi(gpu::Cmp::kLt, p, n, 10000);
+  a.bra_if(p, "loop");
+  a.exit();
+  auto prog = a.finish();
+  for (auto _ : state) {
+    sim::Simulation sim;
+    mem::MemoryDomain memory;
+    pcie::Fabric fabric(sim, memory, pcie::FabricConfig{});
+    gpu::Gpu gpu(sim, fabric, memory, gpu::GpuConfig{}, "bench");
+    bool done = false;
+    gpu.launch({.program = &prog.value(), .params = {}},
+               [&done] { done = true; });
+    sim.run_until_condition([&] { return done; });
+    benchmark::DoNotOptimize(gpu.counters().instructions_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * 60000);  // ~6 instr x 10k
+}
+BENCHMARK(BM_InterpreterAluLoop);
+
+void BM_ExtollPingPongExperiment(benchmark::State& state) {
+  const auto cfg = sys::extoll_testbed();
+  for (auto _ : state) {
+    auto r = putget::run_extoll_pingpong(
+        cfg, putget::TransferMode::kHostControlled, 1024, 10);
+    benchmark::DoNotOptimize(r.half_rtt_us);
+  }
+}
+BENCHMARK(BM_ExtollPingPongExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Reproduces Table II: GPU performance counters for the two
+// buffer-placement approaches of the InfiniBand Verbs API (ping-pong,
+// 100 iterations, 1 KiB).
+//
+// "Buffer on host" places the send/completion queues in host memory;
+// "buffer on GPU" places them in device memory. Paper reference values
+// printed alongside.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+int main() {
+  using namespace pg;
+  using putget::QueueLocation;
+  using putget::TransferMode;
+  bench::print_title("Table II - buffer placement, InfiniBand Verbs",
+                     "ping-pong, 100 iterations, 1 KiB payload");
+  const auto cfg = sys::ib_testbed();
+  const auto on_host = putget::run_ib_pingpong(
+      cfg, TransferMode::kGpuDirect, QueueLocation::kHostMemory, 1024, 100);
+  const auto on_gpu = putget::run_ib_pingpong(
+      cfg, TransferMode::kGpuDirect, QueueLocation::kGpuMemory, 1024, 100);
+  if (!on_host.payload_ok || !on_gpu.payload_ok) {
+    std::fprintf(stderr, "FAILED: experiment did not converge\n");
+    return 1;
+  }
+  const gpu::PerfCounters& h = on_host.gpu0;
+  const gpu::PerfCounters& g = on_gpu.gpu0;
+  struct RowDef {
+    const char* metric;
+    std::uint64_t host;
+    std::uint64_t gpu;
+    unsigned paper_host;
+    unsigned paper_gpu;
+  };
+  const RowDef rows[] = {
+      {"sysmem reads (32B accesses)", h.sysmem_read_transactions,
+       g.sysmem_read_transactions, 772, 80},
+      {"sysmem writes (32B accesses)", h.sysmem_write_transactions,
+       g.sysmem_write_transactions, 670, 316},
+      {"l2 read misses", h.l2_read_misses, g.l2_read_misses, 999, 1405},
+      {"l2 read hits", h.l2_read_hits, g.l2_read_hits, 16647, 14575},
+      {"l2 read requests", h.l2_read_requests, g.l2_read_requests, 16657,
+       15110},
+      {"l2 write requests", h.l2_write_requests, g.l2_write_requests, 1990,
+       1885},
+      {"memory accesses (r/w)", h.memory_accesses, g.memory_accesses, 59937,
+       58905},
+      {"instructions executed", h.instructions_executed,
+       g.instructions_executed, 123297, 110463},
+  };
+  std::printf("%-32s %14s %14s   %12s %12s\n", "metric", "buffer on host",
+              "buffer on GPU", "(paper host)", "(paper gpu)");
+  for (const auto& r : rows) {
+    std::printf("%-32s %14llu %14llu   %12u %12u\n", r.metric,
+                static_cast<unsigned long long>(r.host),
+                static_cast<unsigned long long>(r.gpu), r.paper_host,
+                r.paper_gpu);
+  }
+  std::printf("\nper iteration: %llu instructions, %llu memory accesses "
+              "(paper: ~1,100 and ~600)\n",
+              static_cast<unsigned long long>(h.instructions_executed / 100),
+              static_cast<unsigned long long>(h.memory_accesses / 100));
+  std::printf("latency: bufOnHost %.2f us, bufOnGPU %.2f us (half RTT)\n",
+              on_host.half_rtt_us, on_gpu.half_rtt_us);
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Explorer: run any of the paper's experiments (or your own PTX-lite
+// program) from the command line.
+//
+//   explorer pingpong <extoll|ib> <mode> <size> [iters]
+//   explorer bandwidth <extoll|ib> <mode> <size> [messages]
+//   explorer msgrate  <extoll|ib> <blocks|kernels|assisted|host> <pairs>
+//   explorer run <file.ptxl>       # execute a PTX-lite text program
+//
+// modes: direct | pollgpu | bufongpu | bufonhost | assisted | host
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gpu/text_asm.h"
+#include "putget/extoll_experiments.h"
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+using namespace pg;
+using putget::QueueLocation;
+using putget::RateVariant;
+using putget::TransferMode;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  explorer pingpong  <extoll|ib> <mode> <size> [iters]\n"
+      "  explorer bandwidth <extoll|ib> <mode> <size> [messages]\n"
+      "  explorer msgrate   <extoll|ib> <blocks|kernels|assisted|host> "
+      "<pairs> [msgs]\n"
+      "  explorer run <file.ptxl>\n"
+      "modes: direct pollgpu bufongpu bufonhost assisted host\n");
+  return 2;
+}
+
+bool parse_mode(const std::string& s, TransferMode* mode,
+                QueueLocation* loc) {
+  *loc = QueueLocation::kGpuMemory;
+  if (s == "direct" || s == "bufongpu") {
+    *mode = TransferMode::kGpuDirect;
+    return true;
+  }
+  if (s == "bufonhost") {
+    *mode = TransferMode::kGpuDirect;
+    *loc = QueueLocation::kHostMemory;
+    return true;
+  }
+  if (s == "pollgpu") {
+    *mode = TransferMode::kGpuPollDevice;
+    return true;
+  }
+  if (s == "assisted") {
+    *mode = TransferMode::kHostAssisted;
+    return true;
+  }
+  if (s == "host") {
+    *mode = TransferMode::kHostControlled;
+    return true;
+  }
+  return false;
+}
+
+bool parse_variant(const std::string& s, RateVariant* v) {
+  if (s == "blocks") *v = RateVariant::kBlocks;
+  else if (s == "kernels") *v = RateVariant::kKernels;
+  else if (s == "assisted") *v = RateVariant::kAssisted;
+  else if (s == "host") *v = RateVariant::kHostControlled;
+  else return false;
+  return true;
+}
+
+int run_ptxl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto prog = gpu::assemble_text(path, ss.str());
+  if (!prog.is_ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 prog.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", prog->disassemble().c_str());
+  sim::Simulation sim;
+  mem::MemoryDomain memory;
+  pcie::Fabric fabric(sim, memory, pcie::FabricConfig{});
+  gpu::Gpu gpu(sim, fabric, memory, gpu::GpuConfig{}, "explorer");
+  // Parameter r4 points at a scratch output buffer; its first 8 u64 are
+  // dumped after the run.
+  const mem::Addr out = mem::AddressMap::kGpuDramBase + 64 * 1024;
+  bool done = false;
+  gpu.launch({.program = &prog.value(), .params = {out}},
+             [&] { done = true; });
+  sim.set_event_limit(50'000'000);
+  sim.run_until_condition([&] { return done; });
+  sim.run();
+  if (!done) {
+    std::fprintf(stderr, "program did not terminate (event limit)\n");
+    return 1;
+  }
+  std::printf("\ncompleted in %.2f us simulated, %llu instructions\n",
+              to_us(sim.now()),
+              static_cast<unsigned long long>(
+                  gpu.counters().instructions_executed));
+  std::printf("output buffer (r4):");
+  for (int i = 0; i < 8; ++i) {
+    std::printf(" %llu",
+                static_cast<unsigned long long>(memory.read_u64(out + i * 8)));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "run") return run_ptxl(argv[2]);
+  if (argc < 5 && cmd != "msgrate") return usage();
+
+  const std::string fabric = argv[2];
+  const bool is_extoll = fabric == "extoll";
+  if (!is_extoll && fabric != "ib") return usage();
+  const auto cfg = is_extoll ? sys::extoll_testbed() : sys::ib_testbed();
+
+  if (cmd == "pingpong" || cmd == "bandwidth") {
+    TransferMode mode;
+    QueueLocation loc;
+    if (!parse_mode(argv[3], &mode, &loc)) return usage();
+    const auto size = static_cast<std::uint32_t>(std::atoll(argv[4]));
+    const std::uint32_t count =
+        argc > 5 ? static_cast<std::uint32_t>(std::atoll(argv[5]))
+                 : (cmd == "pingpong" ? 50 : 20);
+    if (cmd == "pingpong") {
+      const auto r =
+          is_extoll ? putget::run_extoll_pingpong(cfg, mode, size, count)
+                    : putget::run_ib_pingpong(cfg, mode, loc, size, count);
+      if (!r.payload_ok) {
+        std::fprintf(stderr, "experiment failed\n");
+        return 1;
+      }
+      std::printf("%s %s %u B x %u iters: latency %.2f us (half RTT), "
+                  "posting %.2f us total, polling %.2f us total\n",
+                  fabric.c_str(), argv[3], size, count, r.half_rtt_us,
+                  r.post_sum_us, r.poll_sum_us);
+    } else {
+      const auto r =
+          is_extoll ? putget::run_extoll_bandwidth(cfg, mode, size, count)
+                    : putget::run_ib_bandwidth(cfg, mode, loc, size, count);
+      if (!r.payload_ok) {
+        std::fprintf(stderr, "experiment failed\n");
+        return 1;
+      }
+      std::printf("%s %s %u B x %u msgs: %.1f MB/s\n", fabric.c_str(),
+                  argv[3], size, count, r.mb_per_s);
+    }
+    return 0;
+  }
+  if (cmd == "msgrate") {
+    if (argc < 4) return usage();
+    RateVariant v;
+    if (!parse_variant(argv[3], &v)) return usage();
+    const auto pairs =
+        argc > 4 ? static_cast<std::uint32_t>(std::atoll(argv[4])) : 8;
+    const auto msgs =
+        argc > 5 ? static_cast<std::uint32_t>(std::atoll(argv[5])) : 40;
+    const auto r = is_extoll ? putget::run_extoll_msgrate(cfg, v, pairs, msgs)
+                             : putget::run_ib_msgrate(cfg, v, pairs, msgs);
+    if (r.msgs_per_s <= 0) {
+      std::fprintf(stderr, "experiment failed\n");
+      return 1;
+    }
+    std::printf("%s %s, %u pairs x %u msgs: %.0f msgs/s\n", fabric.c_str(),
+                argv[3], pairs, msgs, r.msgs_per_s);
+    return 0;
+  }
+  return usage();
+}

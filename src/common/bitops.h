@@ -1,0 +1,65 @@
+// Endianness and alignment helpers.
+//
+// The InfiniBand WQE layout is big-endian on the wire; the simulated hosts
+// and GPU are little-endian (as the paper's were), so the codec and the
+// GPU BSWAP instruction both funnel through these helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace pg {
+
+constexpr std::uint16_t byteswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t byteswap32(std::uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+constexpr std::uint64_t byteswap64(std::uint64_t v) {
+  return (static_cast<std::uint64_t>(byteswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         byteswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Host (little-endian) to big-endian conversions, as used by the IB codec.
+constexpr std::uint16_t host_to_be16(std::uint16_t v) { return byteswap16(v); }
+constexpr std::uint32_t host_to_be32(std::uint32_t v) { return byteswap32(v); }
+constexpr std::uint64_t host_to_be64(std::uint64_t v) { return byteswap64(v); }
+constexpr std::uint16_t be_to_host16(std::uint16_t v) { return byteswap16(v); }
+constexpr std::uint32_t be_to_host32(std::uint32_t v) { return byteswap32(v); }
+constexpr std::uint64_t be_to_host64(std::uint64_t v) { return byteswap64(v); }
+
+constexpr bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t alignment) {
+  return v & ~(alignment - 1);
+}
+
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+/// Number of `granule`-sized transactions needed to cover [addr, addr+size).
+/// This matches how GPU profilers count "32B accesses": a naturally
+/// misaligned access that straddles a granule boundary costs two.
+constexpr std::uint64_t covering_granules(std::uint64_t addr,
+                                          std::uint64_t size,
+                                          std::uint64_t granule) {
+  if (size == 0) return 0;
+  const std::uint64_t first = align_down(addr, granule);
+  const std::uint64_t last = align_down(addr + size - 1, granule);
+  return (last - first) / granule + 1;
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace pg

@@ -1,0 +1,58 @@
+// Minimal leveled logging for simulator diagnostics.
+//
+// Logging is off (kWarn) by default so benchmarks stay quiet; tests that
+// debug a model can raise the level for a scope with LogLevelGuard.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace pg {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global log verbosity threshold. Messages above this level are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// RAII override of the global log level (for tests).
+class LogLevelGuard {
+ public:
+  explicit LogLevelGuard(LogLevel level) : previous_(log_level()) {
+    set_log_level(level);
+  }
+  ~LogLevelGuard() { set_log_level(previous_); }
+  LogLevelGuard(const LogLevelGuard&) = delete;
+  LogLevelGuard& operator=(const LogLevelGuard&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+namespace detail {
+void vlog(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+}  // namespace detail
+
+#define PG_LOG(level, tag, ...)                          \
+  do {                                                   \
+    if (static_cast<int>(level) <=                       \
+        static_cast<int>(::pg::log_level())) {           \
+      ::pg::detail::vlog(level, tag, __VA_ARGS__);       \
+    }                                                    \
+  } while (0)
+
+#define PG_ERROR(tag, ...) PG_LOG(::pg::LogLevel::kError, tag, __VA_ARGS__)
+#define PG_WARN(tag, ...) PG_LOG(::pg::LogLevel::kWarn, tag, __VA_ARGS__)
+#define PG_INFO(tag, ...) PG_LOG(::pg::LogLevel::kInfo, tag, __VA_ARGS__)
+#define PG_DEBUG(tag, ...) PG_LOG(::pg::LogLevel::kDebug, tag, __VA_ARGS__)
+#define PG_TRACE(tag, ...) PG_LOG(::pg::LogLevel::kTrace, tag, __VA_ARGS__)
+
+}  // namespace pg

@@ -1,0 +1,73 @@
+// Fixed-capacity ring buffer.
+//
+// Used for NIC pipeline stages and notification staging where a bounded
+// queue with overflow detection mirrors the hardware structure (the paper:
+// "If notifications are used they have to be consumed and freed before the
+// queue overflows").
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace pg {
+
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : slots_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == slots_.size(); }
+
+  /// Pushes a value; returns false (and drops nothing) when full.
+  bool push(T value) {
+    if (full()) return false;
+    slots_[tail_] = std::move(value);
+    tail_ = advance(tail_);
+    ++count_;
+    return true;
+  }
+
+  /// Pops the oldest value, or nullopt when empty.
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T value = std::move(slots_[head_]);
+    head_ = advance(head_);
+    --count_;
+    return value;
+  }
+
+  /// Oldest element without removing it. Requires !empty().
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    return (i + 1 == slots_.size()) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace pg

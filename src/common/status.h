@@ -1,0 +1,119 @@
+// Lightweight Status / Result<T> error propagation.
+//
+// The simulator is a library, not an application: model-level failures
+// (bad registration, queue overflow, malformed descriptor) are reported to
+// the caller as values rather than exceptions so that tests can assert on
+// them and so that NIC models can surface errors the way real hardware
+// does (a completion with an error code).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pg {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name for a status code.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "CODE: message".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status out_of_range(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status already_exists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status failed_precondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// A value-or-status, in the spirit of std::expected (not yet in our
+/// toolchain's standard library).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}            // NOLINT
+  Result(Status status) : payload_(std::move(status)) {      // NOLINT
+    assert(!std::get<Status>(payload_).is_ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(payload_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace pg

@@ -1,0 +1,76 @@
+// Time and size units used throughout the simulator.
+//
+// Simulated time is an integer count of picoseconds (SimTime). Picosecond
+// granularity lets us express sub-nanosecond link serialization delays
+// exactly while still covering ~106 days of simulated time in an int64.
+#pragma once
+
+#include <cstdint>
+
+namespace pg {
+
+/// Simulated time in picoseconds.
+using SimTime = std::int64_t;
+
+/// Duration in picoseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kPicosecond = 1;
+constexpr SimDuration kNanosecond = 1000;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration picoseconds(std::int64_t n) { return n; }
+constexpr SimDuration nanoseconds(std::int64_t n) { return n * kNanosecond; }
+constexpr SimDuration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+
+/// Converts a picosecond duration to (fractional) microseconds.
+constexpr double to_us(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts a picosecond duration to (fractional) nanoseconds.
+constexpr double to_ns(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosecond);
+}
+
+/// Converts a picosecond duration to (fractional) seconds.
+constexpr double to_sec(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Sizes.
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// Bandwidth expressed as bytes per second; stored as double to permit
+/// fractional effective rates after protocol overheads.
+struct Bandwidth {
+  double bytes_per_second = 0.0;
+
+  /// Time to serialize `bytes` at this rate (rounded up to a picosecond).
+  constexpr SimDuration transfer_time(std::uint64_t bytes) const {
+    if (bytes_per_second <= 0.0) return 0;
+    const double seconds = static_cast<double>(bytes) / bytes_per_second;
+    const double ps = seconds * static_cast<double>(kSecond);
+    const auto whole = static_cast<SimDuration>(ps);
+    return (static_cast<double>(whole) < ps) ? whole + 1 : whole;
+  }
+
+  constexpr double gb_per_second() const { return bytes_per_second / 1e9; }
+};
+
+constexpr Bandwidth gigabytes_per_second(double gb) {
+  return Bandwidth{gb * 1e9};
+}
+
+constexpr Bandwidth megabytes_per_second(double mb) {
+  return Bandwidth{mb * 1e6};
+}
+
+}  // namespace pg

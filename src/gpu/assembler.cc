@@ -1,0 +1,172 @@
+#include "gpu/assembler.h"
+
+namespace pg::gpu {
+
+std::string Assembler::fresh_label(const std::string& stem) {
+  return stem + "$" + std::to_string(fresh_counter_++);
+}
+
+Assembler& Assembler::bind(const std::string& label) {
+  assert(bound_.find(label) == bound_.end() && "label bound twice");
+  bound_[label] = static_cast<std::int32_t>(code_.size());
+  return *this;
+}
+
+Assembler& Assembler::emit(Instr in) {
+  code_.push_back(in);
+  return *this;
+}
+
+std::int32_t Assembler::label_ref(const std::string& label) {
+  // Record a fixup; target patched in finish(). The instruction being
+  // emitted is the next one (index == current size()).
+  fixups_.emplace_back(code_.size(), label);
+  return -1;
+}
+
+Assembler& Assembler::nop() { return emit({.op = Op::kNop}); }
+
+Assembler& Assembler::movi(Reg rd, std::int64_t imm) {
+  return emit({.op = Op::kMovI, .rd = rd.index, .imm = imm});
+}
+Assembler& Assembler::mov(Reg rd, Reg ra) {
+  return emit({.op = Op::kMov, .rd = rd.index, .ra = ra.index});
+}
+Assembler& Assembler::add(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kAdd, .rd = rd.index, .ra = ra.index, .rb = rb.index});
+}
+Assembler& Assembler::addi(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kAddI, .rd = rd.index, .ra = ra.index, .imm = imm});
+}
+Assembler& Assembler::sub(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kSub, .rd = rd.index, .ra = ra.index, .rb = rb.index});
+}
+Assembler& Assembler::mul(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kMul, .rd = rd.index, .ra = ra.index, .rb = rb.index});
+}
+Assembler& Assembler::muli(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kMulI, .rd = rd.index, .ra = ra.index, .imm = imm});
+}
+Assembler& Assembler::shli(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kShlI, .rd = rd.index, .ra = ra.index, .imm = imm});
+}
+Assembler& Assembler::shri(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kShrI, .rd = rd.index, .ra = ra.index, .imm = imm});
+}
+Assembler& Assembler::and_(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kAnd, .rd = rd.index, .ra = ra.index, .rb = rb.index});
+}
+Assembler& Assembler::andi(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kAndI, .rd = rd.index, .ra = ra.index, .imm = imm});
+}
+Assembler& Assembler::or_(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kOr, .rd = rd.index, .ra = ra.index, .rb = rb.index});
+}
+Assembler& Assembler::ori(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kOrI, .rd = rd.index, .ra = ra.index, .imm = imm});
+}
+Assembler& Assembler::xor_(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kXor, .rd = rd.index, .ra = ra.index, .rb = rb.index});
+}
+Assembler& Assembler::not_(Reg rd, Reg ra) {
+  return emit({.op = Op::kNot, .rd = rd.index, .ra = ra.index});
+}
+Assembler& Assembler::bswap32(Reg rd, Reg ra) {
+  return emit({.op = Op::kBswap32, .rd = rd.index, .ra = ra.index});
+}
+Assembler& Assembler::bswap64(Reg rd, Reg ra) {
+  return emit({.op = Op::kBswap64, .rd = rd.index, .ra = ra.index});
+}
+Assembler& Assembler::setp(Cmp cmp, Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kSetp,
+               .rd = rd.index,
+               .ra = ra.index,
+               .rb = rb.index,
+               .cmp = cmp});
+}
+Assembler& Assembler::setpi(Cmp cmp, Reg rd, Reg ra, std::int64_t imm) {
+  return emit(
+      {.op = Op::kSetpI, .rd = rd.index, .ra = ra.index, .cmp = cmp, .imm = imm});
+}
+
+Assembler& Assembler::bra(const std::string& label) {
+  return emit({.op = Op::kBra, .cond = BraCond::kAlways,
+               .target = label_ref(label)});
+}
+Assembler& Assembler::bra_if(Reg ra, const std::string& label) {
+  return emit({.op = Op::kBra,
+               .ra = ra.index,
+               .cond = BraCond::kIfTrue,
+               .target = label_ref(label)});
+}
+Assembler& Assembler::bra_ifnot(Reg ra, const std::string& label) {
+  return emit({.op = Op::kBra,
+               .ra = ra.index,
+               .cond = BraCond::kIfFalse,
+               .target = label_ref(label)});
+}
+Assembler& Assembler::ssy(const std::string& label) {
+  return emit({.op = Op::kSsy, .target = label_ref(label)});
+}
+Assembler& Assembler::call(const std::string& label) {
+  return emit({.op = Op::kCall, .target = label_ref(label)});
+}
+Assembler& Assembler::ret() { return emit({.op = Op::kRet}); }
+Assembler& Assembler::exit() { return emit({.op = Op::kExit}); }
+
+Assembler& Assembler::ld(Reg rd, Reg addr, std::int64_t offset,
+                         unsigned width) {
+  return emit({.op = Op::kLd,
+               .rd = rd.index,
+               .ra = addr.index,
+               .width = static_cast<std::uint8_t>(width),
+               .imm = offset});
+}
+Assembler& Assembler::st(Reg addr, Reg value, std::int64_t offset,
+                         unsigned width) {
+  return emit({.op = Op::kSt,
+               .ra = addr.index,
+               .rb = value.index,
+               .width = static_cast<std::uint8_t>(width),
+               .imm = offset});
+}
+Assembler& Assembler::atom_add(Reg rd, Reg addr, Reg value,
+                               std::int64_t offset) {
+  return emit({.op = Op::kAtomAdd,
+               .rd = rd.index,
+               .ra = addr.index,
+               .rb = value.index,
+               .imm = offset});
+}
+Assembler& Assembler::atom_exch(Reg rd, Reg addr, Reg value,
+                                std::int64_t offset) {
+  return emit({.op = Op::kAtomExch,
+               .rd = rd.index,
+               .ra = addr.index,
+               .rb = value.index,
+               .imm = offset});
+}
+
+Assembler& Assembler::membar_sys() { return emit({.op = Op::kMembarSys}); }
+Assembler& Assembler::bar_sync() { return emit({.op = Op::kBarSync}); }
+Assembler& Assembler::sreg(Reg rd, Sreg which) {
+  return emit({.op = Op::kSreg, .rd = rd.index, .sreg = which});
+}
+
+Result<Program> Assembler::finish() {
+  for (const auto& [index, label] : fixups_) {
+    auto it = bound_.find(label);
+    if (it == bound_.end()) {
+      return not_found("program '" + name_ + "': unbound label '" + label +
+                       "'");
+    }
+    code_[index].target = it->second;
+  }
+  Program program(name_, std::move(code_));
+  if (Status st = program.validate(); !st.is_ok()) {
+    return st;
+  }
+  return program;
+}
+
+}  // namespace pg::gpu

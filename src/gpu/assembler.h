@@ -1,0 +1,101 @@
+// Fluent builder for PTX-lite programs.
+//
+// Device routines are composed in C++ through this assembler; labels are
+// symbolic and fixed up at finish(). Reusable routine fragments (the
+// device-side put/get library) are emitted by functions that take an
+// Assembler& and append their body, mirroring how device functions are
+// inlined by a real GPU toolchain, or emitted once and reached via
+// call()/ret() for subroutine-style linking.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gpu/program.h"
+
+namespace pg::gpu {
+
+/// Typed register name, so routine signatures read like code.
+struct Reg {
+  std::uint8_t index;
+  constexpr explicit Reg(unsigned i) : index(static_cast<std::uint8_t>(i)) {
+  }
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string program_name)
+      : name_(std::move(program_name)) {}
+
+  // --- labels ---------------------------------------------------------------
+
+  /// Declares (or references) a label; bind it later with bind().
+  /// Labels are resolved at finish().
+  std::string fresh_label(const std::string& stem);
+
+  /// Binds `label` to the next emitted instruction.
+  Assembler& bind(const std::string& label);
+
+  // --- instruction emitters ---------------------------------------------------
+
+  Assembler& nop();
+  Assembler& movi(Reg rd, std::int64_t imm);
+  Assembler& mov(Reg rd, Reg ra);
+  Assembler& add(Reg rd, Reg ra, Reg rb);
+  Assembler& addi(Reg rd, Reg ra, std::int64_t imm);
+  Assembler& sub(Reg rd, Reg ra, Reg rb);
+  Assembler& mul(Reg rd, Reg ra, Reg rb);
+  Assembler& muli(Reg rd, Reg ra, std::int64_t imm);
+  Assembler& shli(Reg rd, Reg ra, std::int64_t imm);
+  Assembler& shri(Reg rd, Reg ra, std::int64_t imm);
+  Assembler& and_(Reg rd, Reg ra, Reg rb);
+  Assembler& andi(Reg rd, Reg ra, std::int64_t imm);
+  Assembler& or_(Reg rd, Reg ra, Reg rb);
+  Assembler& ori(Reg rd, Reg ra, std::int64_t imm);
+  Assembler& xor_(Reg rd, Reg ra, Reg rb);
+  Assembler& not_(Reg rd, Reg ra);
+  Assembler& bswap32(Reg rd, Reg ra);
+  Assembler& bswap64(Reg rd, Reg ra);
+  Assembler& setp(Cmp cmp, Reg rd, Reg ra, Reg rb);
+  Assembler& setpi(Cmp cmp, Reg rd, Reg ra, std::int64_t imm);
+
+  Assembler& bra(const std::string& label);
+  Assembler& bra_if(Reg ra, const std::string& label);
+  Assembler& bra_ifnot(Reg ra, const std::string& label);
+  Assembler& ssy(const std::string& label);
+  Assembler& call(const std::string& label);
+  Assembler& ret();
+  Assembler& exit();
+
+  Assembler& ld(Reg rd, Reg addr, std::int64_t offset = 0, unsigned width = 8);
+  Assembler& st(Reg addr, Reg value, std::int64_t offset = 0,
+                unsigned width = 8);
+  Assembler& atom_add(Reg rd, Reg addr, Reg value, std::int64_t offset = 0);
+  Assembler& atom_exch(Reg rd, Reg addr, Reg value, std::int64_t offset = 0);
+
+  Assembler& membar_sys();
+  Assembler& bar_sync();
+  Assembler& sreg(Reg rd, Sreg which);
+
+  /// Number of instructions emitted so far.
+  std::size_t size() const { return code_.size(); }
+
+  /// Resolves labels and returns the validated program.
+  Result<Program> finish();
+
+ private:
+  Assembler& emit(Instr in);
+  std::int32_t label_ref(const std::string& label);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::unordered_map<std::string, std::int32_t> bound_;  // label -> pc
+  // Fixups: (instruction index, label).
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+  std::uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace pg::gpu

@@ -1,0 +1,29 @@
+#include "gpu/counters.h"
+
+#include <cstdio>
+
+namespace pg::gpu {
+
+std::string PerfCounters::to_table(const std::string& title) const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "%-38s %14s\n", "metric", title.c_str());
+  out += line;
+  auto row = [&](const char* name, std::uint64_t v) {
+    std::snprintf(line, sizeof(line), "%-38s %14llu\n", name,
+                  static_cast<unsigned long long>(v));
+    out += line;
+  };
+  row("sysmem reads (32B accesses)", sysmem_read_transactions);
+  row("sysmem writes (32B accesses)", sysmem_write_transactions);
+  row("globmem64 reads (accesses)", globmem_read64);
+  row("globmem64 writes (accesses)", globmem_write64);
+  row("l2 read hits", l2_read_hits);
+  row("l2 read requests", l2_read_requests);
+  row("l2 write requests", l2_write_requests);
+  row("memory accesses (r/w)", memory_accesses);
+  row("instructions executed", instructions_executed);
+  return out;
+}
+
+}  // namespace pg::gpu

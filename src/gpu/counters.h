@@ -1,0 +1,79 @@
+// GPU performance counters, mirroring the metrics in the paper's
+// Tables I and II.
+//
+// Granularity conventions follow the paper's:
+//   - system-memory reads/writes are counted as 32-byte transactions,
+//   - global (device) memory 64-bit accesses are counted per access,
+//   - "memory accesses (r/w)" counts executed LD/ST per active thread,
+//   - "instructions executed" counts retired instructions per active
+//     thread (one warp instruction on N active lanes retires N).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pg::gpu {
+
+struct PerfCounters {
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t memory_accesses = 0;
+
+  std::uint64_t sysmem_read_transactions = 0;   // 32B granules
+  std::uint64_t sysmem_write_transactions = 0;  // 32B granules
+
+  std::uint64_t globmem_read64 = 0;   // 64-bit device-memory loads
+  std::uint64_t globmem_write64 = 0;  // 64-bit device-memory stores
+  std::uint64_t globmem_read_other = 0;
+  std::uint64_t globmem_write_other = 0;
+
+  std::uint64_t l2_read_requests = 0;
+  std::uint64_t l2_read_hits = 0;
+  std::uint64_t l2_read_misses = 0;
+  std::uint64_t l2_write_requests = 0;
+
+  std::uint64_t shared_reads = 0;
+  std::uint64_t shared_writes = 0;
+
+  std::uint64_t branches = 0;
+  std::uint64_t divergent_branches = 0;
+
+  std::uint64_t warps_launched = 0;
+  std::uint64_t blocks_launched = 0;
+  std::uint64_t kernels_launched = 0;
+
+  PerfCounters operator-(const PerfCounters& rhs) const {
+    PerfCounters d = *this;
+    d.instructions_executed -= rhs.instructions_executed;
+    d.memory_accesses -= rhs.memory_accesses;
+    d.sysmem_read_transactions -= rhs.sysmem_read_transactions;
+    d.sysmem_write_transactions -= rhs.sysmem_write_transactions;
+    d.globmem_read64 -= rhs.globmem_read64;
+    d.globmem_write64 -= rhs.globmem_write64;
+    d.globmem_read_other -= rhs.globmem_read_other;
+    d.globmem_write_other -= rhs.globmem_write_other;
+    d.l2_read_requests -= rhs.l2_read_requests;
+    d.l2_read_hits -= rhs.l2_read_hits;
+    d.l2_read_misses -= rhs.l2_read_misses;
+    d.l2_write_requests -= rhs.l2_write_requests;
+    d.shared_reads -= rhs.shared_reads;
+    d.shared_writes -= rhs.shared_writes;
+    d.branches -= rhs.branches;
+    d.divergent_branches -= rhs.divergent_branches;
+    d.warps_launched -= rhs.warps_launched;
+    d.blocks_launched -= rhs.blocks_launched;
+    d.kernels_launched -= rhs.kernels_launched;
+    return d;
+  }
+
+  /// Invariants a healthy counter block maintains; asserted in tests.
+  bool consistent() const {
+    return l2_read_hits + l2_read_misses == l2_read_requests &&
+           l2_read_hits <= l2_read_requests &&
+           memory_accesses <= instructions_executed;
+  }
+
+  /// Multi-line table in the format of the paper's Table I / II.
+  std::string to_table(const std::string& title) const;
+};
+
+}  // namespace pg::gpu

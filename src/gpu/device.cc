@@ -1,0 +1,686 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace pg::gpu {
+
+using mem::Addr;
+using mem::AddressMap;
+using mem::Space;
+
+namespace {
+
+/// Sorts and deduplicates (used for transaction/sector coalescing).
+void unique_sorted(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+std::uint64_t sign_extend_none(std::uint64_t raw, unsigned width) {
+  // Loads are zero-extended (PTX ld.uN semantics).
+  switch (width) {
+    case 1: return raw & 0xFFull;
+    case 2: return raw & 0xFFFFull;
+    case 4: return raw & 0xFFFFFFFFull;
+    default: return raw;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal structures.
+
+struct Gpu::LaunchState {
+  KernelLaunch kl;
+  DoneFn done;
+  std::uint32_t blocks_remaining = 0;
+};
+
+struct Gpu::BlockState {
+  std::shared_ptr<LaunchState> launch;
+  std::uint32_t block_index = 0;
+  std::uint32_t warps_alive = 0;
+  std::vector<std::shared_ptr<WarpExec>> barrier_parked;
+  std::unique_ptr<mem::SparseMemory> shared;
+};
+
+struct Gpu::WarpExec {
+  explicit WarpExec(unsigned lanes) : state(lanes) {}
+  WarpState state;
+  std::shared_ptr<BlockState> block;
+  std::uint32_t warp_in_block = 0;
+  std::uint64_t warp_global_id = 0;
+};
+
+struct Gpu::StreamState {
+  bool busy = false;
+  std::deque<std::function<void()>> queue;
+};
+
+// ---------------------------------------------------------------------------
+// Construction and launches.
+
+Gpu::~Gpu() = default;
+
+Gpu::Gpu(sim::Simulation& sim, pcie::Fabric& fabric, mem::MemoryDomain& memory,
+         GpuConfig cfg, std::string name)
+    : sim_(sim),
+      fabric_(fabric),
+      memory_(memory),
+      cfg_(cfg),
+      name_(std::move(name)),
+      l2_(cfg.l2),
+      p2p_(cfg.p2p) {
+  endpoint_id_ = fabric_.attach(name_, this, cfg_.link);
+  fabric_.claim_range(endpoint_id_, AddressMap::kGpuDramBase,
+                      AddressMap::kGpuDramSize);
+}
+
+void Gpu::launch(const KernelLaunch& kl, DoneFn done) {
+  assert(kl.program != nullptr);
+  assert(kl.blocks >= 1 && kl.threads_per_block >= 1);
+  assert(kl.params.size() <= kMaxParams);
+  ++active_kernels_;
+  ++counters_.kernels_launched;
+  auto ls = std::make_shared<LaunchState>();
+  ls->kl = kl;
+  ls->done = std::move(done);
+  ls->blocks_remaining = kl.blocks;
+  sim_.schedule(cfg_.launch_overhead, [this, ls] { start_launch(ls); });
+}
+
+void Gpu::launch_stream(std::uint32_t stream, const KernelLaunch& kl,
+                        DoneFn done) {
+  auto& slot = streams_[stream];
+  if (!slot) slot = std::make_unique<StreamState>();
+  StreamState* st = slot.get();
+  auto run = [this, kl, done = std::move(done), st]() mutable {
+    launch(kl, [this, done = std::move(done), st]() {
+      if (done) done();
+      if (st->queue.empty()) {
+        st->busy = false;
+      } else {
+        auto next = std::move(st->queue.front());
+        st->queue.pop_front();
+        next();
+      }
+    });
+  };
+  if (st->busy) {
+    st->queue.push_back(std::move(run));
+  } else {
+    st->busy = true;
+    run();
+  }
+}
+
+void Gpu::start_launch(std::shared_ptr<LaunchState> ls) {
+  const KernelLaunch& kl = ls->kl;
+  for (std::uint32_t b = 0; b < kl.blocks; ++b) {
+    auto block = std::make_shared<BlockState>();
+    block->launch = ls;
+    block->block_index = b;
+    block->shared =
+        std::make_unique<mem::SparseMemory>(cfg_.shared_mem_per_block);
+    const std::uint32_t warps =
+        static_cast<std::uint32_t>(div_ceil(kl.threads_per_block, kWarpSize));
+    block->warps_alive = warps;
+    ++counters_.blocks_launched;
+    for (std::uint32_t wi = 0; wi < warps; ++wi) {
+      const unsigned lanes = std::min<std::uint32_t>(
+          kWarpSize, kl.threads_per_block - wi * kWarpSize);
+      auto w = std::make_shared<WarpExec>(lanes);
+      w->block = block;
+      w->warp_in_block = wi;
+      w->warp_global_id = next_warp_id_++;
+      ++counters_.warps_launched;
+      // Initialize registers per lane.
+      for (unsigned lane = 0; lane < lanes; ++lane) {
+        w->state.set_reg(lane, 0, wi * kWarpSize + lane);  // tid.x
+        w->state.set_reg(lane, 1, b);                      // ctaid.x
+        w->state.set_reg(lane, 2, kl.threads_per_block);   // ntid.x
+        w->state.set_reg(lane, 3, kl.blocks);              // nctaid.x
+        for (std::size_t p = 0; p < kl.params.size(); ++p) {
+          w->state.set_reg(lane, kFirstParamReg + static_cast<unsigned>(p),
+                           kl.params[p]);
+        }
+      }
+      sim_.schedule(0, [this, w] { run_warp(w); });
+    }
+  }
+}
+
+void Gpu::retire_warp(const std::shared_ptr<WarpExec>& w, SimDuration dt) {
+  BlockState& block = *w->block;
+  assert(block.warps_alive > 0);
+  --block.warps_alive;
+  // A warp exiting may complete a barrier the remaining warps wait on
+  // (CUDA forbids this; we resolve it rather than deadlock, and warn).
+  if (block.warps_alive > 0 &&
+      block.barrier_parked.size() == block.warps_alive) {
+    PG_WARN("gpu", "block %u: warp exited while siblings wait at barrier",
+            block.block_index);
+    auto parked = std::move(block.barrier_parked);
+    block.barrier_parked.clear();
+    sim_.schedule(dt + cycles(cfg_.barrier_cycles), [this, parked] {
+      for (const auto& p : parked) run_warp(p);
+    });
+  }
+  if (block.warps_alive == 0) {
+    auto ls = block.launch;
+    assert(ls->blocks_remaining > 0);
+    --ls->blocks_remaining;
+    if (ls->blocks_remaining == 0) {
+      sim_.schedule(dt, [this, ls] {
+        assert(active_kernels_ > 0);
+        --active_kernels_;
+        if (ls->done) ls->done();
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backing-store access helpers.
+
+std::uint64_t Gpu::load_backed(const WarpExec& w, Addr addr,
+                               unsigned width) const {
+  std::uint8_t buf[8] = {};
+  if (AddressMap::classify(addr) == Space::kGpuShared) {
+    const std::uint64_t offset = addr - AddressMap::kGpuSharedBase;
+    assert(offset + width <= cfg_.shared_mem_per_block &&
+           "shared-memory access out of block allocation");
+    w.block->shared->read(offset, {buf, width});
+  } else {
+    memory_.read(addr, {buf, width});
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf, 8);
+  return sign_extend_none(v, width);
+}
+
+void Gpu::store_backed(WarpExec& w, Addr addr, unsigned width,
+                       std::uint64_t value) {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &value, 8);
+  if (AddressMap::classify(addr) == Space::kGpuShared) {
+    const std::uint64_t offset = addr - AddressMap::kGpuSharedBase;
+    assert(offset + width <= cfg_.shared_mem_per_block &&
+           "shared-memory access out of block allocation");
+    w.block->shared->write(offset, {buf, width});
+  } else {
+    memory_.write(addr, {buf, width});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory instruction execution.
+
+namespace {
+struct LaneAccess {
+  unsigned lane;
+  Addr addr;
+  std::uint64_t value = 0;  // store data
+};
+}  // namespace
+
+bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
+                    SimDuration& dt) {
+  WarpState& ws = w->state;
+  std::vector<LaneAccess> lanes;
+  ws.for_each_active([&](unsigned lane) {
+    lanes.push_back(
+        {lane, ws.reg(lane, in.ra) + static_cast<std::uint64_t>(in.imm)});
+  });
+  counters_.memory_accesses += lanes.size();
+  const Space space = AddressMap::classify(lanes.front().addr);
+#ifndef NDEBUG
+  for (const auto& la : lanes) {
+    assert(AddressMap::classify(la.addr) == space &&
+           "warp load straddles address spaces");
+  }
+#endif
+
+  if (space == Space::kGpuShared) {
+    counters_.shared_reads += lanes.size();
+    for (const auto& la : lanes) {
+      ws.set_reg(la.lane, in.rd, load_backed(*w, la.addr, in.width));
+    }
+    dt += cycles(cfg_.shared_cycles);
+    ws.set_pc(ws.pc() + 1);
+    return false;
+  }
+
+  if (space == Space::kGpuDram) {
+    // Coalesce into unique 32B sectors; each is one L2 read request.
+    std::vector<std::uint64_t> sectors;
+    for (const auto& la : lanes) {
+      if (in.width == 8) {
+        ++counters_.globmem_read64;
+      } else {
+        ++counters_.globmem_read_other;
+      }
+      const std::uint64_t first = la.addr / 32;
+      const std::uint64_t last = (la.addr + in.width - 1) / 32;
+      for (std::uint64_t s = first; s <= last; ++s) sectors.push_back(s);
+    }
+    unique_sorted(sectors);
+    bool all_hit = true;
+    for (std::uint64_t s : sectors) {
+      const bool hit = l2_.access(s * 32, /*is_write=*/false);
+      ++counters_.l2_read_requests;
+      if (hit) {
+        ++counters_.l2_read_hits;
+      } else {
+        ++counters_.l2_read_misses;
+        all_hit = false;
+      }
+    }
+    const SimDuration latency =
+        cycles(cfg_.l2_hit_cycles + (all_hit ? 0 : cfg_.dram_extra_cycles));
+    // Sample at completion: NIC writes landing during the access latency
+    // are observed, matching hardware where the L2 serves the request.
+    sim_.schedule(dt + latency, [this, w, lanes, &in] {
+      for (const auto& la : lanes) {
+        w->state.set_reg(la.lane, in.rd, load_backed(*w, la.addr, in.width));
+      }
+      w->state.set_pc(w->state.pc() + 1);
+      run_warp(w);
+    });
+    return true;
+  }
+
+  // System memory or MMIO: split transactions over PCIe.
+  {
+    std::vector<std::uint64_t> sectors;
+    for (const auto& la : lanes) {
+      sectors.push_back(la.addr / 32);
+      sectors.push_back((la.addr + in.width - 1) / 32);
+    }
+    unique_sorted(sectors);
+    counters_.sysmem_read_transactions += sectors.size();
+    auto pending = std::make_shared<std::size_t>(lanes.size());
+    // Zero-copy path overhead (GPU MMU / BAR window) before the request
+    // reaches the fabric.
+    sim_.schedule(dt + cfg_.sysmem_read_extra, [this, w, lanes, &in, pending] {
+      for (const auto& la : lanes) {
+        sysmem_read(
+            la.addr, in.width,
+            [this, w, la, &in, pending](std::vector<std::uint8_t> data) {
+              std::uint64_t v = 0;
+              std::memcpy(&v, data.data(), std::min<std::size_t>(8, data.size()));
+              w->state.set_reg(la.lane, in.rd, sign_extend_none(v, in.width));
+              if (--*pending == 0) {
+                w->state.set_pc(w->state.pc() + 1);
+                run_warp(w);
+              }
+            });
+      }
+    });
+    return true;
+  }
+}
+
+void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
+                     SimDuration& dt) {
+  WarpState& ws = w->state;
+  std::vector<LaneAccess> lanes;
+  ws.for_each_active([&](unsigned lane) {
+    lanes.push_back(
+        {lane, ws.reg(lane, in.ra) + static_cast<std::uint64_t>(in.imm),
+         ws.reg(lane, in.rb)});
+  });
+  counters_.memory_accesses += lanes.size();
+  const Space space = AddressMap::classify(lanes.front().addr);
+#ifndef NDEBUG
+  for (const auto& la : lanes) {
+    assert(AddressMap::classify(la.addr) == space &&
+           "warp store straddles address spaces");
+  }
+#endif
+
+  if (space == Space::kGpuShared) {
+    counters_.shared_writes += lanes.size();
+    for (const auto& la : lanes) {
+      store_backed(*w, la.addr, in.width, la.value);
+    }
+    ws.set_pc(ws.pc() + 1);
+    return;
+  }
+
+  if (space == Space::kGpuDram) {
+    std::vector<std::uint64_t> sectors;
+    for (const auto& la : lanes) {
+      if (in.width == 8) {
+        ++counters_.globmem_write64;
+      } else {
+        ++counters_.globmem_write_other;
+      }
+      const std::uint64_t first = la.addr / 32;
+      const std::uint64_t last = (la.addr + in.width - 1) / 32;
+      for (std::uint64_t s = first; s <= last; ++s) sectors.push_back(s);
+    }
+    unique_sorted(sectors);
+    counters_.l2_write_requests += sectors.size();
+    for (std::uint64_t s : sectors) {
+      (void)l2_.access(s * 32, /*is_write=*/true);  // write-allocate
+    }
+    // Posted into the memory pipeline: visible after the issue slice.
+    const unsigned width = in.width;
+    sim_.schedule(dt, [this, w, lanes, width] {
+      for (const auto& la : lanes) {
+        store_backed(*w, la.addr, width, la.value);
+      }
+    });
+    ws.set_pc(ws.pc() + 1);
+    return;
+  }
+
+  // System memory or MMIO: posted PCIe writes (this is how a GPU thread
+  // posts an EXTOLL WR to the BAR or rings the IB doorbell).
+  {
+    std::vector<std::uint64_t> sectors;
+    for (const auto& la : lanes) {
+      sectors.push_back(la.addr / 32);
+      sectors.push_back((la.addr + in.width - 1) / 32);
+    }
+    unique_sorted(sectors);
+    counters_.sysmem_write_transactions += sectors.size();
+    const unsigned width = in.width;
+    // Stores to MMIO (NIC BAR / doorbells) sit in the write-combine
+    // buffer before flushing to PCIe; plain host-memory stores post
+    // immediately.
+    const SimDuration flush =
+        AddressMap::is_mmio(lanes.front().addr) ? cfg_.mmio_store_flush : 0;
+    sim_.schedule(dt + flush, [this, lanes, width] {
+      for (const auto& la : lanes) {
+        std::vector<std::uint8_t> bytes(width);
+        std::memcpy(bytes.data(), &la.value, width);
+        fabric_.write(endpoint_id_, la.addr, std::move(bytes));
+      }
+    });
+    ws.set_pc(ws.pc() + 1);
+    return;
+  }
+}
+
+bool Gpu::exec_atomic(const std::shared_ptr<WarpExec>& w, const Instr& in,
+                      SimDuration& dt) {
+  WarpState& ws = w->state;
+  std::vector<LaneAccess> lanes;
+  ws.for_each_active([&](unsigned lane) {
+    lanes.push_back(
+        {lane, ws.reg(lane, in.ra) + static_cast<std::uint64_t>(in.imm),
+         ws.reg(lane, in.rb)});
+  });
+  counters_.memory_accesses += lanes.size();
+  assert(AddressMap::classify(lanes.front().addr) == Space::kGpuDram &&
+         "atomics are supported on device global memory only");
+  counters_.globmem_read64 += lanes.size();
+  counters_.globmem_write64 += lanes.size();
+  std::vector<std::uint64_t> sectors;
+  for (const auto& la : lanes) sectors.push_back(la.addr / 32);
+  unique_sorted(sectors);
+  counters_.l2_write_requests += sectors.size();
+  for (std::uint64_t s : sectors) (void)l2_.access(s * 32, true);
+
+  const bool is_add = in.op == Op::kAtomAdd;
+  // The read-modify-write executes atomically inside one event at
+  // completion time; lanes apply in lane order (hardware serializes
+  // same-address lane conflicts too).
+  sim_.schedule(dt + cycles(cfg_.atom_cycles), [this, w, lanes, &in, is_add] {
+    for (const auto& la : lanes) {
+      const std::uint64_t old = load_backed(*w, la.addr, 8);
+      const std::uint64_t next = is_add ? old + la.value : la.value;
+      store_backed(*w, la.addr, 8, next);
+      w->state.set_reg(la.lane, in.rd, old);
+    }
+    w->state.set_pc(w->state.pc() + 1);
+    run_warp(w);
+  });
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Non-posted read credit gate.
+
+void Gpu::sysmem_read(Addr addr, std::uint32_t len,
+                      std::function<void(std::vector<std::uint8_t>)> cb) {
+  sysmem_read_queue_.push_back(SysmemReadJob{addr, len, std::move(cb)});
+  pump_sysmem_reads();
+}
+
+void Gpu::pump_sysmem_reads() {
+  while (sysmem_reads_in_flight_ < cfg_.max_outstanding_sysmem_reads &&
+         !sysmem_read_queue_.empty()) {
+    SysmemReadJob job = std::move(sysmem_read_queue_.front());
+    sysmem_read_queue_.pop_front();
+    ++sysmem_reads_in_flight_;
+    fabric_.read(endpoint_id_, job.addr, job.len,
+                 [this, cb = std::move(job.cb)](
+                     std::vector<std::uint8_t> data) {
+                   assert(sysmem_reads_in_flight_ > 0);
+                   --sysmem_reads_in_flight_;
+                   cb(std::move(data));
+                   pump_sysmem_reads();
+                 });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The interpreter.
+
+void Gpu::run_warp(std::shared_ptr<WarpExec> w) {
+  WarpState& ws = w->state;
+  const Program& prog = *w->block->launch->kl.program;
+  SimDuration dt = 0;
+  unsigned steps = 0;
+  while (steps < cfg_.max_inline_steps) {
+    if (ws.done()) {
+      retire_warp(w, dt);
+      return;
+    }
+    if (ws.maybe_reconverge()) continue;
+    assert(static_cast<std::size_t>(ws.pc()) < prog.size());
+    const Instr& in = prog.at(static_cast<std::size_t>(ws.pc()));
+    counters_.instructions_executed += ws.active_count();
+    dt += issue_cost();
+    ++steps;
+
+    auto alu = [&](auto&& fn) {
+      ws.for_each_active([&](unsigned lane) {
+        ws.set_reg(lane, in.rd, fn(lane));
+      });
+      ws.set_pc(ws.pc() + 1);
+    };
+    auto ra = [&](unsigned lane) { return ws.reg(lane, in.ra); };
+    auto rb = [&](unsigned lane) { return ws.reg(lane, in.rb); };
+    const auto imm = static_cast<std::uint64_t>(in.imm);
+
+    switch (in.op) {
+      case Op::kNop:
+        ws.set_pc(ws.pc() + 1);
+        break;
+      case Op::kMovI:
+        alu([&](unsigned) { return imm; });
+        break;
+      case Op::kMov:
+        alu([&](unsigned lane) { return ra(lane); });
+        break;
+      case Op::kAdd:
+        alu([&](unsigned lane) { return ra(lane) + rb(lane); });
+        break;
+      case Op::kAddI:
+        alu([&](unsigned lane) { return ra(lane) + imm; });
+        break;
+      case Op::kSub:
+        alu([&](unsigned lane) { return ra(lane) - rb(lane); });
+        break;
+      case Op::kMul:
+        alu([&](unsigned lane) { return ra(lane) * rb(lane); });
+        break;
+      case Op::kMulI:
+        alu([&](unsigned lane) { return ra(lane) * imm; });
+        break;
+      case Op::kShlI:
+        alu([&](unsigned lane) { return ra(lane) << (imm & 63); });
+        break;
+      case Op::kShrI:
+        alu([&](unsigned lane) { return ra(lane) >> (imm & 63); });
+        break;
+      case Op::kAnd:
+        alu([&](unsigned lane) { return ra(lane) & rb(lane); });
+        break;
+      case Op::kAndI:
+        alu([&](unsigned lane) { return ra(lane) & imm; });
+        break;
+      case Op::kOr:
+        alu([&](unsigned lane) { return ra(lane) | rb(lane); });
+        break;
+      case Op::kOrI:
+        alu([&](unsigned lane) { return ra(lane) | imm; });
+        break;
+      case Op::kXor:
+        alu([&](unsigned lane) { return ra(lane) ^ rb(lane); });
+        break;
+      case Op::kNot:
+        alu([&](unsigned lane) { return ~ra(lane); });
+        break;
+      case Op::kBswap32:
+        alu([&](unsigned lane) {
+          return static_cast<std::uint64_t>(
+              byteswap32(static_cast<std::uint32_t>(ra(lane))));
+        });
+        break;
+      case Op::kBswap64:
+        alu([&](unsigned lane) { return byteswap64(ra(lane)); });
+        break;
+      case Op::kSetp:
+      case Op::kSetpI: {
+        alu([&](unsigned lane) -> std::uint64_t {
+          const std::uint64_t a = ra(lane);
+          const std::uint64_t b = in.op == Op::kSetp ? rb(lane) : imm;
+          const auto sa = static_cast<std::int64_t>(a);
+          const auto sb = static_cast<std::int64_t>(b);
+          switch (in.cmp) {
+            case Cmp::kEq: return a == b;
+            case Cmp::kNe: return a != b;
+            case Cmp::kLt: return sa < sb;
+            case Cmp::kLe: return sa <= sb;
+            case Cmp::kGt: return sa > sb;
+            case Cmp::kGe: return sa >= sb;
+            case Cmp::kLtU: return a < b;
+            case Cmp::kGeU: return a >= b;
+          }
+          return 0;
+        });
+        break;
+      }
+      case Op::kSreg: {
+        alu([&](unsigned lane) -> std::uint64_t {
+          switch (in.sreg) {
+            case Sreg::kTidX:
+              return w->warp_in_block * kWarpSize + lane;
+            case Sreg::kCtaidX:
+              return w->block->block_index;
+            case Sreg::kNtidX:
+              return w->block->launch->kl.threads_per_block;
+            case Sreg::kNctaidX:
+              return w->block->launch->kl.blocks;
+            case Sreg::kClock:
+              return static_cast<std::uint64_t>((sim_.now() + dt) /
+                                                kNanosecond);
+            case Sreg::kWarpId:
+              return w->warp_global_id;
+          }
+          return 0;
+        });
+        break;
+      }
+      case Op::kBra: {
+        LaneMask taken = 0;
+        if (in.cond == BraCond::kAlways) {
+          taken = ws.mask();
+        } else {
+          ws.for_each_active([&](unsigned lane) {
+            bool t = ws.reg(lane, in.ra) != 0;
+            if (in.cond == BraCond::kIfFalse) t = !t;
+            if (t) taken |= (1u << lane);
+          });
+        }
+        ++counters_.branches;
+        if (ws.branch(taken, in.target)) ++counters_.divergent_branches;
+        break;
+      }
+      case Op::kSsy:
+        ws.push_sync(in.target);
+        ws.set_pc(ws.pc() + 1);
+        break;
+      case Op::kCall:
+        ws.call(in.target);
+        break;
+      case Op::kRet:
+        ws.ret();
+        break;
+      case Op::kExit:
+        ws.exit_active();
+        break;
+      case Op::kMembarSys:
+        dt += cycles(cfg_.membar_cycles);
+        ws.set_pc(ws.pc() + 1);
+        break;
+      case Op::kBarSync: {
+        ws.set_pc(ws.pc() + 1);
+        BlockState& block = *w->block;
+        block.barrier_parked.push_back(w);
+        if (block.barrier_parked.size() == block.warps_alive) {
+          auto parked = std::move(block.barrier_parked);
+          block.barrier_parked.clear();
+          sim_.schedule(dt + cycles(cfg_.barrier_cycles), [this, parked] {
+            for (const auto& p : parked) run_warp(p);
+          });
+        }
+        return;  // parked until the barrier releases
+      }
+      case Op::kLd:
+        if (exec_load(w, in, dt)) return;
+        break;
+      case Op::kSt:
+        exec_store(w, in, dt);
+        break;
+      case Op::kAtomAdd:
+      case Op::kAtomExch:
+        if (exec_atomic(w, in, dt)) return;
+        break;
+    }
+  }
+  // Inline slice exhausted: yield to the event loop (lets DMA traffic and
+  // other warps interleave at a bounded granularity).
+  sim_.schedule(dt, [this, w] { run_warp(w); });
+}
+
+// ---------------------------------------------------------------------------
+// PCIe endpoint personality.
+
+void Gpu::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
+  assert(AddressMap::in_gpu_dram(addr) && "inbound write outside GPU DRAM");
+  memory_.write(addr, data);
+  // Coherence action: incoming DMA invalidates covered L2 lines, so the
+  // next device-side poll misses once and observes the new data.
+  l2_.invalidate_range(addr, data.size());
+}
+
+SimTime Gpu::inbound_read(SimTime arrival, Addr addr,
+                          std::span<std::uint8_t> out) {
+  assert(AddressMap::in_gpu_dram(addr) && "inbound read outside GPU DRAM");
+  memory_.read(addr, out);
+  return p2p_.serve(arrival, addr, out.size());
+}
+
+}  // namespace pg::gpu

@@ -1,0 +1,138 @@
+// PTX-lite: the instruction set interpreted by the simulated GPU.
+//
+// Device code in this project (the GPU-resident put/get routines, the
+// ported verbs calls, the polling loops) is written in this ISA via the
+// Assembler. That is the point of the exercise: the paper's Table I/II
+// and its 442-instructions-per-post measurements are *counts of executed
+// device instructions*, so those counts must emerge from real instruction
+// streams rather than from hard-coded constants.
+//
+// The ISA is deliberately PTX-shaped: 64-bit general registers, explicit
+// widths on loads/stores, SSY-style reconvergence for SIMT divergence
+// (as on the paper's Kepler hardware), and a BSWAP instruction because
+// the InfiniBand WQE codec's endian conversion is one of the overheads
+// the paper calls out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pg::gpu {
+
+/// Number of 64-bit general-purpose registers per thread.
+constexpr unsigned kNumRegs = 32;
+
+/// Threads per warp.
+constexpr unsigned kWarpSize = 32;
+
+/// Per-thread call stack depth (CALL/RET).
+constexpr unsigned kMaxCallDepth = 8;
+
+enum class Op : std::uint8_t {
+  kNop = 0,
+
+  // Data movement between registers and immediates.
+  kMovI,   // rd = imm
+  kMov,    // rd = ra
+
+  // Integer ALU (64-bit two's complement).
+  kAdd,    // rd = ra + rb
+  kAddI,   // rd = ra + imm
+  kSub,    // rd = ra - rb
+  kMul,    // rd = ra * rb
+  kMulI,   // rd = ra * imm
+  kShlI,   // rd = ra << imm
+  kShrI,   // rd = ra >> imm (logical)
+  kAnd,    // rd = ra & rb
+  kAndI,   // rd = ra & imm
+  kOr,     // rd = ra | rb
+  kOrI,    // rd = ra | imm
+  kXor,    // rd = ra ^ rb
+  kNot,    // rd = ~ra
+
+  // Endianness (the IB WQE codec's conversion cost).
+  kBswap32,  // rd = byteswap32(lo32(ra)) zero-extended
+  kBswap64,  // rd = byteswap64(ra)
+
+  // Comparisons produce 0/1 in a general register.
+  kSetp,   // rd = (ra CMP rb) ? 1 : 0
+  kSetpI,  // rd = (ra CMP imm) ? 1 : 0
+
+  // Control flow. Branch targets are instruction indices after assembly.
+  kBra,    // unconditional / conditional on ra (see BraCond)
+  kSsy,    // push reconvergence point for potentially divergent code
+  kCall,   // push pc+1, jump (must be warp-uniform)
+  kRet,    // pop return address (must be warp-uniform)
+  kExit,   // thread terminates
+
+  // Memory. Address = ra + imm; width in {1,2,4,8} bytes.
+  kLd,     // rd = [ra + imm]
+  kSt,     // [ra + imm] = rb
+  kAtomAdd,   // rd = old [ra+imm]; [ra+imm] += rb   (global memory)
+  kAtomExch,  // rd = old [ra+imm]; [ra+imm] = rb
+
+  // Fences and synchronization.
+  kMembarSys,  // system-level fence (orders device stores vs PCIe)
+  kBarSync,    // block-wide barrier
+
+  // Special registers.
+  kSreg,   // rd = special register (see Sreg)
+};
+
+enum class Cmp : std::uint8_t {
+  kEq,
+  kNe,
+  kLt,   // signed
+  kLe,
+  kGt,
+  kGe,
+  kLtU,  // unsigned
+  kGeU,
+};
+
+enum class BraCond : std::uint8_t {
+  kAlways,
+  kIfTrue,   // taken by threads with ra != 0
+  kIfFalse,  // taken by threads with ra == 0
+};
+
+enum class Sreg : std::uint8_t {
+  kTidX,     // thread index within block
+  kCtaidX,   // block index within grid
+  kNtidX,    // threads per block
+  kNctaidX,  // blocks per grid
+  kClock,    // device clock, nanoseconds of simulated time
+  kWarpId,   // flat warp id within the launch
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::uint8_t width = 8;        // LD/ST width in bytes
+  Cmp cmp = Cmp::kEq;
+  BraCond cond = BraCond::kAlways;
+  Sreg sreg = Sreg::kTidX;
+  std::int32_t target = -1;      // branch/call/SSY target (instr index)
+  std::int64_t imm = 0;
+
+  /// Disassembles to a human-readable line (for program dumps and tests).
+  std::string to_string() const;
+};
+
+const char* op_name(Op op);
+const char* cmp_name(Cmp cmp);
+
+/// True for instructions that access memory (LD/ST/atomics).
+constexpr bool is_memory_op(Op op) {
+  return op == Op::kLd || op == Op::kSt || op == Op::kAtomAdd ||
+         op == Op::kAtomExch;
+}
+
+/// True for width values the ISA supports.
+constexpr bool valid_width(unsigned w) {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+}  // namespace pg::gpu

@@ -1,0 +1,31 @@
+// Kernel launch descriptor.
+//
+// Register conventions at thread start (mirroring PTX special registers
+// and kernel parameter space):
+//   r0 = tid.x     (thread index within the block)
+//   r1 = ctaid.x   (block index within the grid)
+//   r2 = ntid.x    (threads per block)
+//   r3 = nctaid.x  (blocks per grid)
+//   r4...r4+N-1 = kernel parameters
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/program.h"
+
+namespace pg::gpu {
+
+/// First register used for kernel parameters.
+constexpr unsigned kFirstParamReg = 4;
+/// Maximum number of 64-bit kernel parameters.
+constexpr unsigned kMaxParams = kNumRegs - kFirstParamReg;
+
+struct KernelLaunch {
+  const Program* program = nullptr;
+  std::uint32_t blocks = 1;
+  std::uint32_t threads_per_block = 1;
+  std::vector<std::uint64_t> params;
+};
+
+}  // namespace pg::gpu

@@ -1,0 +1,35 @@
+// A validated, executable device program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gpu/isa.h"
+
+namespace pg::gpu {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code)
+      : name_(std::move(name)), code_(std::move(code)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instr>& code() const { return code_; }
+  std::size_t size() const { return code_.size(); }
+  const Instr& at(std::size_t pc) const { return code_[pc]; }
+
+  /// Structural validation: branch targets in range, widths legal, a
+  /// reachable EXIT exists. Run once after assembly.
+  Status validate() const;
+
+  /// Full disassembly listing with instruction indices.
+  std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+};
+
+}  // namespace pg::gpu

@@ -1,0 +1,315 @@
+#include "gpu/text_asm.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gpu/assembler.h"
+
+namespace pg::gpu {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+/// Splits a line into mnemonic + operand tokens. Memory operands
+/// ("[r2+16]") stay as single tokens; commas separate operands.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string strip_comment(const std::string& line) {
+  std::size_t hash = line.find('#');
+  std::size_t slashes = line.find("//");
+  std::size_t cut = std::min(hash == std::string::npos ? line.size() : hash,
+                             slashes == std::string::npos ? line.size()
+                                                          : slashes);
+  return line.substr(0, cut);
+}
+
+std::optional<Reg> parse_reg(const std::string& tok) {
+  if (tok.size() < 2 || tok[0] != 'r') return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str() + 1, &end, 10);
+  if (*end != '\0' || v < 0 || v >= static_cast<long>(kNumRegs)) {
+    return std::nullopt;
+  }
+  return Reg(static_cast<unsigned>(v));
+}
+
+std::optional<std::int64_t> parse_imm(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 0);
+  if (*end != '\0') return std::nullopt;
+  return v;
+}
+
+/// Parses "[rX+OFF]" / "[rX-OFF]" / "[rX]".
+struct MemOperand {
+  Reg base{0};
+  std::int64_t offset = 0;
+};
+std::optional<MemOperand> parse_mem(const std::string& tok) {
+  if (tok.size() < 4 || tok.front() != '[' || tok.back() != ']') {
+    return std::nullopt;
+  }
+  const std::string inner = tok.substr(1, tok.size() - 2);
+  std::size_t split = inner.find_first_of("+-", 1);
+  const std::string reg_part =
+      split == std::string::npos ? inner : inner.substr(0, split);
+  auto base = parse_reg(reg_part);
+  if (!base) return std::nullopt;
+  MemOperand mem{*base, 0};
+  if (split != std::string::npos) {
+    auto off = parse_imm(inner.substr(split));
+    if (!off) return std::nullopt;
+    mem.offset = *off;
+  }
+  return mem;
+}
+
+std::optional<Cmp> parse_cmp(const std::string& suffix) {
+  static const std::map<std::string, Cmp> kMap = {
+      {"eq", Cmp::kEq}, {"ne", Cmp::kNe},  {"lt", Cmp::kLt},
+      {"le", Cmp::kLe}, {"gt", Cmp::kGt},  {"ge", Cmp::kGe},
+      {"ltu", Cmp::kLtU}, {"geu", Cmp::kGeU}};
+  auto it = kMap.find(suffix);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Sreg> parse_sreg(const std::string& tok) {
+  static const std::map<std::string, Sreg> kMap = {
+      {"tid", Sreg::kTidX},       {"ctaid", Sreg::kCtaidX},
+      {"ntid", Sreg::kNtidX},     {"nctaid", Sreg::kNctaidX},
+      {"clock", Sreg::kClock},    {"warpid", Sreg::kWarpId}};
+  auto it = kMap.find(tok);
+  if (it != kMap.end()) return it->second;
+  auto num = parse_imm(tok);
+  if (num && *num >= 0 && *num <= static_cast<std::int64_t>(Sreg::kWarpId)) {
+    return static_cast<Sreg>(*num);
+  }
+  return std::nullopt;
+}
+
+
+/// Drops a leading "N:" line-index prefix (the disassembler prints one
+/// before each instruction). A bare "name:" alone on a line is a label
+/// and is not touched.
+void drop_index_prefix(std::vector<std::string>& toks) {
+  if (toks.size() < 2) return;
+  const std::string& first = toks.front();
+  if (first.size() >= 2 && first.back() == ':' &&
+      first.find_first_not_of("0123456789") == first.size() - 1) {
+    toks.erase(toks.begin());
+  }
+}
+
+std::optional<unsigned> parse_width_suffix(const std::string& suffix) {
+  if (suffix == "u8") return 1;
+  if (suffix == "u16") return 2;
+  if (suffix == "u32") return 4;
+  if (suffix == "u64") return 8;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<Program> assemble_text(const std::string& name,
+                              const std::string& source) {
+  // Split into lines once; two passes over them.
+  std::vector<std::string> lines;
+  {
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t nl = source.find('\n', pos);
+      lines.push_back(source.substr(
+          pos, nl == std::string::npos ? std::string::npos : nl - pos));
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+    }
+  }
+
+  auto fail = [&](std::size_t line_no, const std::string& msg) {
+    return invalid_argument("line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  // --- Pass 1: find numeric branch targets (the disassembler emits
+  // absolute indices) so synthetic labels can be bound in pass 2.
+  std::map<long, std::string> index_labels;
+  {
+    long instr_index = 0;
+    for (const std::string& raw : lines) {
+      auto toks = tokenize(strip_comment(raw));
+      drop_index_prefix(toks);
+      if (toks.empty()) continue;
+      if (toks.size() == 1 && toks[0].back() == ':') continue;
+      const std::string& m = toks[0];
+      std::size_t target_tok = 0;
+      if ((m == "bra" || m == "ssy" || m == "call") && toks.size() == 2) {
+        target_tok = 1;
+      } else if ((m == "bra.if" || m == "bra.ifnot") && toks.size() == 3) {
+        target_tok = 2;
+      }
+      if (target_tok != 0) {
+        const std::string& t = toks[target_tok];
+        if (!t.empty() &&
+            t.find_first_not_of("0123456789") == std::string::npos) {
+          const long idx = std::strtol(t.c_str(), nullptr, 10);
+          index_labels.emplace(idx, "$idx" + std::to_string(idx));
+        }
+      }
+      ++instr_index;
+    }
+    (void)instr_index;
+  }
+
+  // --- Pass 2: emit.
+  Assembler a(name);
+  auto label_for = [&](const std::string& tok) -> std::string {
+    if (!tok.empty() &&
+        tok.find_first_not_of("0123456789") == std::string::npos) {
+      return index_labels.at(std::strtol(tok.c_str(), nullptr, 10));
+    }
+    return tok;
+  };
+  auto bind_index_labels = [&] {
+    auto it = index_labels.find(static_cast<long>(a.size()));
+    if (it != index_labels.end()) a.bind(it->second);
+  };
+
+  std::size_t line_no = 0;
+  for (const std::string& raw : lines) {
+    ++line_no;
+    const std::string line = strip_comment(raw);
+    auto toks = tokenize(line);
+    drop_index_prefix(toks);
+    if (toks.empty()) continue;
+    // Label?
+    if (toks.size() == 1 && toks[0].back() == ':') {
+      a.bind(toks[0].substr(0, toks[0].size() - 1));
+      continue;
+    }
+    bind_index_labels();
+    const std::string& m = toks[0];
+    const std::size_t dot = m.find('.');
+    const std::string base = m.substr(0, dot);
+    const std::string suffix =
+        dot == std::string::npos ? "" : m.substr(dot + 1);
+    const std::size_t n = toks.size() - 1;
+    auto reg = [&](std::size_t i) { return parse_reg(toks[i]); };
+    auto imm = [&](std::size_t i) { return parse_imm(toks[i]); };
+
+    if (m == "nop" && n == 0) {
+      a.nop();
+    } else if (m == "exit" && n == 0) {
+      a.exit();
+    } else if (m == "ret" && n == 0) {
+      a.ret();
+    } else if (m == "membar.sys" && n == 0) {
+      a.membar_sys();
+    } else if (m == "bar.sync" && n == 0) {
+      a.bar_sync();
+    } else if (m == "movi" && n == 2 && reg(1) && imm(2)) {
+      a.movi(*reg(1), *imm(2));
+    } else if (m == "mov" && n == 2 && reg(1) && reg(2)) {
+      a.mov(*reg(1), *reg(2));
+    } else if (m == "not" && n == 2 && reg(1) && reg(2)) {
+      a.not_(*reg(1), *reg(2));
+    } else if (m == "bswap32" && n == 2 && reg(1) && reg(2)) {
+      a.bswap32(*reg(1), *reg(2));
+    } else if (m == "bswap64" && n == 2 && reg(1) && reg(2)) {
+      a.bswap64(*reg(1), *reg(2));
+    } else if (m == "add" && n == 3 && reg(1) && reg(2) && reg(3)) {
+      a.add(*reg(1), *reg(2), *reg(3));
+    } else if (m == "sub" && n == 3 && reg(1) && reg(2) && reg(3)) {
+      a.sub(*reg(1), *reg(2), *reg(3));
+    } else if (m == "mul" && n == 3 && reg(1) && reg(2) && reg(3)) {
+      a.mul(*reg(1), *reg(2), *reg(3));
+    } else if (m == "and" && n == 3 && reg(1) && reg(2) && reg(3)) {
+      a.and_(*reg(1), *reg(2), *reg(3));
+    } else if (m == "or" && n == 3 && reg(1) && reg(2) && reg(3)) {
+      a.or_(*reg(1), *reg(2), *reg(3));
+    } else if (m == "xor" && n == 3 && reg(1) && reg(2) && reg(3)) {
+      a.xor_(*reg(1), *reg(2), *reg(3));
+    } else if (m == "addi" && n == 3 && reg(1) && reg(2) && imm(3)) {
+      a.addi(*reg(1), *reg(2), *imm(3));
+    } else if (m == "muli" && n == 3 && reg(1) && reg(2) && imm(3)) {
+      a.muli(*reg(1), *reg(2), *imm(3));
+    } else if (m == "shli" && n == 3 && reg(1) && reg(2) && imm(3)) {
+      a.shli(*reg(1), *reg(2), *imm(3));
+    } else if (m == "shri" && n == 3 && reg(1) && reg(2) && imm(3)) {
+      a.shri(*reg(1), *reg(2), *imm(3));
+    } else if (m == "andi" && n == 3 && reg(1) && reg(2) && imm(3)) {
+      a.andi(*reg(1), *reg(2), *imm(3));
+    } else if (m == "ori" && n == 3 && reg(1) && reg(2) && imm(3)) {
+      a.ori(*reg(1), *reg(2), *imm(3));
+    } else if (base == "setp" && !suffix.empty() && n == 3 && reg(1) &&
+               reg(2) && reg(3)) {
+      auto cmp = parse_cmp(suffix);
+      if (!cmp) return fail(line_no, "unknown comparison ." + suffix);
+      a.setp(*cmp, *reg(1), *reg(2), *reg(3));
+    } else if (base == "setpi" && !suffix.empty() && n == 3 && reg(1) &&
+               reg(2) && imm(3)) {
+      auto cmp = parse_cmp(suffix);
+      if (!cmp) return fail(line_no, "unknown comparison ." + suffix);
+      a.setpi(*cmp, *reg(1), *reg(2), *imm(3));
+    } else if (m == "bra" && n == 1) {
+      a.bra(label_for(toks[1]));
+    } else if (m == "bra.if" && n == 2 && reg(1)) {
+      a.bra_if(*reg(1), label_for(toks[2]));
+    } else if (m == "bra.ifnot" && n == 2 && reg(1)) {
+      a.bra_ifnot(*reg(1), label_for(toks[2]));
+    } else if (m == "ssy" && n == 1) {
+      a.ssy(label_for(toks[1]));
+    } else if (m == "call" && n == 1) {
+      a.call(label_for(toks[1]));
+    } else if (base == "ld" && n == 2 && reg(1)) {
+      auto width = parse_width_suffix(suffix);
+      auto mem = parse_mem(toks[2]);
+      if (!width || !mem) return fail(line_no, "malformed load: " + raw);
+      a.ld(*reg(1), mem->base, mem->offset, *width);
+    } else if (base == "st" && n == 2 && reg(2)) {
+      auto width = parse_width_suffix(suffix);
+      auto mem = parse_mem(toks[1]);
+      if (!width || !mem) return fail(line_no, "malformed store: " + raw);
+      a.st(mem->base, *reg(2), mem->offset, *width);
+    } else if (m == "atom.add" && n == 3 && reg(1) && reg(3)) {
+      auto mem = parse_mem(toks[2]);
+      if (!mem) return fail(line_no, "malformed atomic: " + raw);
+      a.atom_add(*reg(1), mem->base, *reg(3), mem->offset);
+    } else if (m == "atom.exch" && n == 3 && reg(1) && reg(3)) {
+      auto mem = parse_mem(toks[2]);
+      if (!mem) return fail(line_no, "malformed atomic: " + raw);
+      a.atom_exch(*reg(1), mem->base, *reg(3), mem->offset);
+    } else if (m == "sreg" && n == 2 && reg(1)) {
+      auto sreg = parse_sreg(toks[2]);
+      if (!sreg) return fail(line_no, "unknown special register " + toks[2]);
+      a.sreg(*reg(1), *sreg);
+    } else {
+      return fail(line_no, "cannot parse instruction: '" + line + "'");
+    }
+  }
+  bind_index_labels();
+  return a.finish();
+}
+
+}  // namespace pg::gpu

@@ -1,0 +1,31 @@
+// Text-format assembler for PTX-lite.
+//
+// Accepts the same syntax the disassembler prints, plus symbolic labels,
+// so device routines can be written in plain text files, embedded in
+// docs/tests, or round-tripped through Program::disassemble(). Example:
+//
+//     # spin until [r4] == r5
+//     loop:
+//       ld.u64 r8, [r4+0]
+//       setp.ne r9, r8, r5
+//       bra.if r9, loop
+//       exit
+//
+// Lines: `label:`, instructions, blank lines; `#` and `//` start
+// comments. Branch/call/ssy targets may be labels or absolute
+// instruction indices (the disassembler emits indices).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "gpu/program.h"
+
+namespace pg::gpu {
+
+/// Assembles `source` into a validated program named `name`.
+/// Errors carry the offending line number.
+Result<Program> assemble_text(const std::string& name,
+                              const std::string& source);
+
+}  // namespace pg::gpu

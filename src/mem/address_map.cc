@@ -1,0 +1,45 @@
+#include "mem/address_map.h"
+
+namespace pg::mem {
+
+const char* space_name(Space s) {
+  switch (s) {
+    case Space::kInvalid:
+      return "invalid";
+    case Space::kHostDram:
+      return "host_dram";
+    case Space::kGpuDram:
+      return "gpu_dram";
+    case Space::kExtollBar:
+      return "extoll_bar";
+    case Space::kIbUar:
+      return "ib_uar";
+    case Space::kGpuShared:
+      return "gpu_shared";
+  }
+  return "invalid";
+}
+
+Space AddressMap::classify(Addr addr) {
+  if (in_host_dram(addr)) return Space::kHostDram;
+  if (in_gpu_dram(addr)) return Space::kGpuDram;
+  if (addr >= kExtollBarBase && addr < kExtollBarBase + kExtollBarSize) {
+    return Space::kExtollBar;
+  }
+  if (addr >= kIbUarBase && addr < kIbUarBase + kIbUarSize) {
+    return Space::kIbUar;
+  }
+  if (addr >= kGpuSharedBase && addr < kGpuSharedBase + kGpuSharedSize) {
+    return Space::kGpuShared;
+  }
+  return Space::kInvalid;
+}
+
+bool AddressMap::contained(Addr addr, std::uint64_t size) {
+  if (size == 0) return true;
+  const Space first = classify(addr);
+  if (first == Space::kInvalid) return false;
+  return classify(addr + size - 1) == first;
+}
+
+}  // namespace pg::mem

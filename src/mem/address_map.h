@@ -1,0 +1,72 @@
+// The per-node 64-bit system address map.
+//
+// Each simulated node has one flat physical/bus address space that every
+// agent (CPU, GPU SMs, NIC DMA engines) uses. This mirrors the paper's
+// setup after the driver patches: GPU UVA, host memory, and the NIC BARs
+// all became addressable from both the CPU and the GPU.
+//
+// Layout (per node):
+//   HOST_DRAM    [0x0000'0001'0000'0000, +4 GiB)   system memory
+//   GPU_DRAM     [0x0000'0100'0000'0000, +4 GiB)   device memory (via BAR1
+//                                                  for peers -> P2P rules)
+//   EXTOLL_BAR   [0x0000'8000'0000'0000, +16 MiB)  RMA requester pages
+//   IB_UAR       [0x0000'8001'0000'0000, +1 MiB)   HCA doorbell pages
+//   GPU_SHARED   [0x0000'F000'0000'0000, +256 MiB) per-block scratchpad
+//                                                  (GPU-internal only,
+//                                                  never routed on PCIe)
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace pg::mem {
+
+using Addr = std::uint64_t;
+
+enum class Space : std::uint8_t {
+  kInvalid = 0,
+  kHostDram,
+  kGpuDram,
+  kExtollBar,
+  kIbUar,
+  kGpuShared,
+};
+
+const char* space_name(Space s);
+
+struct AddressMap {
+  static constexpr Addr kHostDramBase = 0x0000'0001'0000'0000ull;
+  static constexpr std::uint64_t kHostDramSize = 4 * GiB;
+
+  static constexpr Addr kGpuDramBase = 0x0000'0100'0000'0000ull;
+  static constexpr std::uint64_t kGpuDramSize = 4 * GiB;
+
+  static constexpr Addr kExtollBarBase = 0x0000'8000'0000'0000ull;
+  static constexpr std::uint64_t kExtollBarSize = 16 * MiB;
+
+  static constexpr Addr kIbUarBase = 0x0000'8001'0000'0000ull;
+  static constexpr std::uint64_t kIbUarSize = 1 * MiB;
+
+  static constexpr Addr kGpuSharedBase = 0x0000'F000'0000'0000ull;
+  static constexpr std::uint64_t kGpuSharedSize = 256 * MiB;
+
+  /// Which space an address falls into (kInvalid if none).
+  static Space classify(Addr addr);
+
+  /// True when [addr, addr+size) lies entirely in one space.
+  static bool contained(Addr addr, std::uint64_t size);
+
+  static bool in_host_dram(Addr a) {
+    return a >= kHostDramBase && a < kHostDramBase + kHostDramSize;
+  }
+  static bool in_gpu_dram(Addr a) {
+    return a >= kGpuDramBase && a < kGpuDramBase + kGpuDramSize;
+  }
+  static bool is_mmio(Addr a) {
+    const Space s = classify(a);
+    return s == Space::kExtollBar || s == Space::kIbUar;
+  }
+};
+
+}  // namespace pg::mem

@@ -1,0 +1,40 @@
+// Bump allocator over an address range.
+//
+// Stands in for cudaMalloc / posix_memalign / the kernel driver's
+// pinned-queue carve-outs: experiments and NIC models allocate buffers,
+// rings and notification queues from their node's DRAM regions through
+// this. Alignment-respecting, no free (simulation arenas are reset by
+// dropping the whole domain).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bitops.h"
+#include "mem/address_map.h"
+
+namespace pg::mem {
+
+class BumpAllocator {
+ public:
+  BumpAllocator(Addr base, std::uint64_t size) : base_(base), end_(base + size), next_(base) {}
+
+  /// Allocates `size` bytes with the given alignment (power of two).
+  Addr alloc(std::uint64_t size, std::uint64_t alignment = 64) {
+    assert(is_power_of_two(alignment));
+    const Addr aligned = align_up(next_, alignment);
+    assert(aligned + size <= end_ && "arena exhausted");
+    next_ = aligned + size;
+    return aligned;
+  }
+
+  std::uint64_t remaining() const { return end_ - next_; }
+  Addr base() const { return base_; }
+
+ private:
+  Addr base_;
+  Addr end_;
+  Addr next_;
+};
+
+}  // namespace pg::mem

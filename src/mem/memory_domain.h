@@ -1,0 +1,90 @@
+// MemoryDomain: the backing stores of one node, addressed by the node's
+// flat system address map.
+//
+// DRAM contents are held here; all *timing* for reaching them lives in the
+// PCIe fabric and the GPU memory hierarchy. Splitting state from timing
+// keeps data movement testable in isolation.
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "common/status.h"
+#include "mem/address_map.h"
+#include "mem/sparse_memory.h"
+
+namespace pg::mem {
+
+class MemoryDomain {
+ public:
+  MemoryDomain()
+      : host_dram_(AddressMap::kHostDramSize),
+        gpu_dram_(AddressMap::kGpuDramSize) {}
+
+  SparseMemory& host_dram() { return host_dram_; }
+  SparseMemory& gpu_dram() { return gpu_dram_; }
+  const SparseMemory& host_dram() const { return host_dram_; }
+  const SparseMemory& gpu_dram() const { return gpu_dram_; }
+
+  /// True when [addr, addr+len) is fully inside a DRAM-backed space.
+  bool backed(Addr addr, std::uint64_t len) const {
+    if (!AddressMap::contained(addr, len)) return false;
+    const Space s = AddressMap::classify(addr);
+    return s == Space::kHostDram || s == Space::kGpuDram;
+  }
+
+  /// Reads bytes from a DRAM-backed address. MMIO addresses are routed by
+  /// the PCIe fabric, never through here.
+  void read(Addr addr, std::span<std::uint8_t> out) const {
+    const Space s = AddressMap::classify(addr);
+    if (s == Space::kHostDram) {
+      host_dram_.read(addr - AddressMap::kHostDramBase, out);
+    } else if (s == Space::kGpuDram) {
+      gpu_dram_.read(addr - AddressMap::kGpuDramBase, out);
+    } else {
+      assert(false && "MemoryDomain::read on non-DRAM address");
+    }
+  }
+
+  void write(Addr addr, std::span<const std::uint8_t> in) {
+    const Space s = AddressMap::classify(addr);
+    if (s == Space::kHostDram) {
+      host_dram_.write(addr - AddressMap::kHostDramBase, in);
+    } else if (s == Space::kGpuDram) {
+      gpu_dram_.write(addr - AddressMap::kGpuDramBase, in);
+    } else {
+      assert(false && "MemoryDomain::write on non-DRAM address");
+    }
+  }
+
+  std::uint64_t read_u64(Addr addr) const {
+    std::uint8_t buf[8] = {};
+    read(addr, buf);
+    std::uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+  std::uint32_t read_u32(Addr addr) const {
+    std::uint8_t buf[4] = {};
+    read(addr, buf);
+    std::uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+  }
+  void write_u64(Addr addr, std::uint64_t v) {
+    std::uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    write(addr, buf);
+  }
+  void write_u32(Addr addr, std::uint32_t v) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &v, 4);
+    write(addr, buf);
+  }
+
+ private:
+  SparseMemory host_dram_;
+  SparseMemory gpu_dram_;
+};
+
+}  // namespace pg::mem

@@ -1,0 +1,69 @@
+#include "mem/registration.h"
+
+namespace pg::mem {
+
+Result<Registration> RegistrationTable::register_region(Addr base,
+                                                        std::uint64_t length,
+                                                        Access access) {
+  if (length == 0) {
+    return invalid_argument("registration of zero-length region");
+  }
+  if (access == Access::kNone) {
+    return invalid_argument("registration with no access rights");
+  }
+  if (!AddressMap::contained(base, length)) {
+    return out_of_range("registration straddles address spaces");
+  }
+  const Space space = AddressMap::classify(base);
+  if (space != Space::kHostDram && space != Space::kGpuDram) {
+    return invalid_argument("only DRAM-backed memory can be registered");
+  }
+  Registration reg{next_key_++, base, length, access};
+  regions_.emplace(reg.key, reg);
+  return reg;
+}
+
+Status RegistrationTable::deregister(std::uint32_t key) {
+  if (regions_.erase(key) == 0) {
+    return not_found("deregister: unknown registration key");
+  }
+  return Status::ok();
+}
+
+Result<Registration> RegistrationTable::check(std::uint32_t key, Addr addr,
+                                              std::uint64_t len,
+                                              Access wanted) const {
+  auto it = regions_.find(key);
+  if (it == regions_.end()) {
+    return not_found("access with unknown registration key");
+  }
+  const Registration& reg = it->second;
+  if (!allows(reg.access, wanted)) {
+    return failed_precondition("access rights violation");
+  }
+  if (addr < reg.base || len > reg.length ||
+      addr - reg.base > reg.length - len) {
+    return out_of_range("access outside registered region");
+  }
+  return reg;
+}
+
+Result<Addr> RegistrationTable::translate(std::uint32_t key,
+                                          std::uint64_t offset,
+                                          std::uint64_t len,
+                                          Access wanted) const {
+  auto it = regions_.find(key);
+  if (it == regions_.end()) {
+    return not_found("translate: unknown registration key");
+  }
+  const Registration& reg = it->second;
+  if (!allows(reg.access, wanted)) {
+    return failed_precondition("translate: access rights violation");
+  }
+  if (len > reg.length || offset > reg.length - len) {
+    return out_of_range("translate: window outside registered region");
+  }
+  return reg.base + offset;
+}
+
+}  // namespace pg::mem

@@ -1,0 +1,66 @@
+// Memory-registration bookkeeping shared by both NIC models.
+//
+// Both networks in the paper require registering memory before one-sided
+// access: EXTOLL's ATU turns registered regions into Network Logical
+// Addresses (NLAs); InfiniBand hands out lkey/rkey pairs. This table is
+// the common substrate: key -> (base, length, permissions), with bounds
+// and permission checks on every translation, exactly where real hardware
+// raises protection errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "mem/address_map.h"
+
+namespace pg::mem {
+
+enum class Access : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+inline bool allows(Access granted, Access wanted) {
+  return (static_cast<std::uint8_t>(granted) &
+          static_cast<std::uint8_t>(wanted)) ==
+         static_cast<std::uint8_t>(wanted);
+}
+
+struct Registration {
+  std::uint32_t key = 0;
+  Addr base = 0;
+  std::uint64_t length = 0;
+  Access access = Access::kNone;
+};
+
+class RegistrationTable {
+ public:
+  /// Registers [base, base+length) with the given permissions and returns
+  /// the registration (with a fresh key). Regions may overlap (as real
+  /// registrations may); zero-length or space-straddling regions fail.
+  Result<Registration> register_region(Addr base, std::uint64_t length,
+                                       Access access);
+
+  Status deregister(std::uint32_t key);
+
+  /// Validates an access of [addr, addr+len) against registration `key`
+  /// and returns the registration on success.
+  Result<Registration> check(std::uint32_t key, Addr addr, std::uint64_t len,
+                             Access wanted) const;
+
+  /// Translates (key, offset) into a system address, validating bounds.
+  Result<Addr> translate(std::uint32_t key, std::uint64_t offset,
+                         std::uint64_t len, Access wanted) const;
+
+  std::size_t size() const { return regions_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, Registration> regions_;
+  std::uint32_t next_key_ = 1;
+};
+
+}  // namespace pg::mem

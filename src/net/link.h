@@ -1,0 +1,81 @@
+// Point-to-point network link between two NICs.
+//
+// Duplex, FIFO per direction, with analytic serialization (bandwidth +
+// per-packet framing overhead) and flight latency. Both networks in the
+// paper guarantee in-order delivery on a connection, which the
+// poll-on-last-payload-element optimization depends on; FIFO links give
+// us that ordering globally.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace pg::net {
+
+struct NetConfig {
+  Bandwidth bandwidth = gigabytes_per_second(1.0);
+  SimDuration latency = nanoseconds(600);  // wire + switch flight time
+  std::uint32_t mtu = 4096;                // payload per network packet
+  std::uint32_t header_bytes = 16;         // framing per packet
+};
+
+class NetworkLink {
+ public:
+  using Handler = std::function<void(std::vector<std::uint8_t>)>;
+
+  NetworkLink(sim::Simulation& sim, NetConfig cfg) : sim_(sim), cfg_(cfg) {}
+
+  /// Registers the frame handler for `side` (0 or 1).
+  void attach(int side, Handler handler) {
+    sides_[side].handler = std::move(handler);
+  }
+
+  /// Sends a frame from `side` to the opposite side. Frames from one side
+  /// are delivered in order.
+  void send(int side, std::vector<std::uint8_t> frame) {
+    Direction& dir = sides_[side].tx;
+    const std::uint64_t packets =
+        std::max<std::uint64_t>(1, div_ceil(frame.size(), cfg_.mtu));
+    const std::uint64_t wire_bytes =
+        frame.size() + packets * cfg_.header_bytes;
+    const SimTime start = std::max(sim_.now(), dir.busy_until);
+    dir.busy_until = start + cfg_.bandwidth.transfer_time(wire_bytes);
+    dir.bytes += frame.size();
+    ++dir.frames;
+    const int other = 1 - side;
+    sim_.schedule_at(dir.busy_until + cfg_.latency,
+                     [this, other, frame = std::move(frame)]() mutable {
+                       if (sides_[other].handler) {
+                         sides_[other].handler(std::move(frame));
+                       }
+                     });
+  }
+
+  std::uint64_t bytes_sent(int side) const { return sides_[side].tx.bytes; }
+  std::uint64_t frames_sent(int side) const { return sides_[side].tx.frames; }
+  const NetConfig& config() const { return cfg_; }
+
+ private:
+  struct Direction {
+    SimTime busy_until = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t frames = 0;
+  };
+  struct Side {
+    Handler handler;
+    Direction tx;
+  };
+
+  sim::Simulation& sim_;
+  NetConfig cfg_;
+  Side sides_[2];
+};
+
+}  // namespace pg::net

@@ -1,0 +1,41 @@
+// EXTOLL Address Translation Unit.
+//
+// Registered memory regions get an NLA namespace entry; RMA descriptors
+// carry NLAs and the ATU translates them back to local bus addresses with
+// bounds and permission checks, raising the errors real hardware raises.
+// After the paper's driver patch, GPU memory (MMIO addresses from the
+// host's point of view) registers exactly like host memory.
+#pragma once
+
+#include "common/status.h"
+#include "mem/registration.h"
+#include "nic/extoll/rma_types.h"
+
+namespace pg::extoll {
+
+class Atu {
+ public:
+  /// Registers [base, base+length) and returns the NLA of its first byte.
+  Result<Nla> register_region(mem::Addr base, std::uint64_t length,
+                              mem::Access access) {
+    auto reg = table_.register_region(base, length, access);
+    if (!reg.is_ok()) return reg.status();
+    return make_nla(reg->key, 0);
+  }
+
+  Status deregister(Nla nla) { return table_.deregister(nla_key(nla)); }
+
+  /// Translates an NLA window into a bus address, validating bounds and
+  /// access rights.
+  Result<mem::Addr> translate(Nla nla, std::uint64_t length,
+                              mem::Access wanted) const {
+    return table_.translate(nla_key(nla), nla_offset(nla), length, wanted);
+  }
+
+  std::size_t registered_regions() const { return table_.size(); }
+
+ private:
+  mem::RegistrationTable table_;
+};
+
+}  // namespace pg::extoll

@@ -1,0 +1,133 @@
+// EXTOLL RMA descriptor formats.
+//
+// Work requests are 192 bits (three 64-bit words) written to a port's
+// requester page in the PCIe BAR; writing the third word starts the
+// transfer. Notifications are 128 bits (two 64-bit words) DMA-written by
+// the NIC into per-port queues that live in kernel-pinned SYSTEM memory -
+// the placement constraint at the heart of the paper's EXTOLL findings.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pg::extoll {
+
+/// Network Logical Address: (registration key << 40) | offset.
+using Nla = std::uint64_t;
+
+constexpr unsigned kNlaOffsetBits = 40;
+constexpr std::uint64_t kNlaOffsetMask = (1ull << kNlaOffsetBits) - 1;
+
+constexpr Nla make_nla(std::uint32_t key, std::uint64_t offset) {
+  return (static_cast<std::uint64_t>(key) << kNlaOffsetBits) |
+         (offset & kNlaOffsetMask);
+}
+constexpr std::uint32_t nla_key(Nla nla) {
+  return static_cast<std::uint32_t>(nla >> kNlaOffsetBits);
+}
+constexpr std::uint64_t nla_offset(Nla nla) { return nla & kNlaOffsetMask; }
+
+enum class RmaCmd : std::uint8_t {
+  kNone = 0,
+  kPut = 1,
+  kGet = 2,
+};
+
+/// Flag bits in work-request word 0.
+constexpr std::uint64_t kWrNotifyRequester = 1ull << 48;
+constexpr std::uint64_t kWrNotifyCompleter = 1ull << 49;
+
+/// A decoded RMA work request.
+///
+/// Wire layout (as written to the BAR):
+///   word0: [7:0] cmd | [15:8] port | [47:16] size | [48] notify requester
+///          | [49] notify completer
+///   word1: source NLA
+///   word2: destination NLA
+struct WorkRequest {
+  RmaCmd cmd = RmaCmd::kNone;
+  std::uint8_t port = 0;
+  std::uint32_t size = 0;
+  bool notify_requester = false;
+  bool notify_completer = false;
+  Nla src_nla = 0;
+  Nla dst_nla = 0;
+
+  /// Encodes word 0 (words 1 and 2 are the NLAs verbatim).
+  std::uint64_t encode_word0() const {
+    std::uint64_t w = static_cast<std::uint64_t>(cmd) |
+                      (static_cast<std::uint64_t>(port) << 8) |
+                      (static_cast<std::uint64_t>(size) << 16);
+    if (notify_requester) w |= kWrNotifyRequester;
+    if (notify_completer) w |= kWrNotifyCompleter;
+    return w;
+  }
+
+  static WorkRequest decode(std::uint64_t w0, std::uint64_t w1,
+                            std::uint64_t w2) {
+    WorkRequest wr;
+    wr.cmd = static_cast<RmaCmd>(w0 & 0xFF);
+    wr.port = static_cast<std::uint8_t>((w0 >> 8) & 0xFF);
+    wr.size = static_cast<std::uint32_t>((w0 >> 16) & 0xFFFFFFFF);
+    wr.notify_requester = (w0 & kWrNotifyRequester) != 0;
+    wr.notify_completer = (w0 & kWrNotifyCompleter) != 0;
+    wr.src_nla = w1;
+    wr.dst_nla = w2;
+    return wr;
+  }
+};
+
+/// Byte offsets of the WR words within a requester page.
+constexpr std::uint64_t kWrWord0Offset = 0;
+constexpr std::uint64_t kWrWord1Offset = 8;
+constexpr std::uint64_t kWrWord2Offset = 16;  // writing this word kicks off
+constexpr std::uint64_t kRequesterPageSize = 4096;
+
+/// Which RMA unit produced a notification.
+enum class NotifyUnit : std::uint8_t {
+  kRequester = 1,
+  kCompleter = 2,
+  kResponder = 3,
+};
+
+/// A 128-bit notification.
+///
+/// Wire layout:
+///   word0: [7:0] unit | [15:8] port | [47:16] size | [62:32]... seq in
+///          [62:48]? - seq occupies [62:48]; bit 63 is the VALID marker so
+///          a poller can test word0 != 0. Consumers zero both words to
+///          free the slot.
+///   word1: the NLA the operation targeted.
+struct Notification {
+  NotifyUnit unit = NotifyUnit::kRequester;
+  std::uint8_t port = 0;
+  std::uint32_t size = 0;
+  std::uint16_t seq = 0;
+  Nla nla = 0;
+
+  std::uint64_t encode_word0() const {
+    return (1ull << 63) | static_cast<std::uint64_t>(unit) |
+           (static_cast<std::uint64_t>(port) << 8) |
+           (static_cast<std::uint64_t>(size) << 16) |
+           (static_cast<std::uint64_t>(seq) << 48 & 0x7FFF000000000000ull);
+  }
+  std::uint64_t encode_word1() const { return nla; }
+
+  static Notification decode(std::uint64_t w0, std::uint64_t w1) {
+    Notification n;
+    n.unit = static_cast<NotifyUnit>(w0 & 0xFF);
+    n.port = static_cast<std::uint8_t>((w0 >> 8) & 0xFF);
+    n.size = static_cast<std::uint32_t>((w0 >> 16) & 0xFFFFFFFF);
+    n.seq = static_cast<std::uint16_t>((w0 >> 48) & 0x7FFF);
+    n.nla = w1;
+    return n;
+  }
+
+  static bool valid_word0(std::uint64_t w0) { return (w0 >> 63) != 0; }
+};
+
+/// Notification slot size in bytes (two 64-bit words).
+constexpr std::uint64_t kNotificationBytes = 16;
+
+}  // namespace pg::extoll

@@ -1,0 +1,507 @@
+#include "nic/extoll/rma_unit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace pg::extoll {
+
+using mem::Addr;
+using mem::AddressMap;
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+std::vector<std::uint8_t> ExtollNic::Frame::encode() const {
+  std::vector<std::uint8_t> bytes(32 + payload.size());
+  bytes[0] = static_cast<std::uint8_t>(kind);
+  bytes[1] = port;
+  bytes[2] = static_cast<std::uint8_t>((last ? 1 : 0) |
+                                       (notify_completer ? 2 : 0));
+  bytes[3] = 0;
+  std::memcpy(&bytes[4], &total_size, 4);
+  std::memcpy(&bytes[8], &offset, 8);
+  std::memcpy(&bytes[16], &src_nla, 8);
+  std::memcpy(&bytes[24], &dst_nla, 8);
+  std::memcpy(bytes.data() + 32, payload.data(), payload.size());
+  return bytes;
+}
+
+Result<ExtollNic::Frame> ExtollNic::Frame::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 32) {
+    return invalid_argument("EXTOLL frame shorter than header");
+  }
+  Frame f;
+  f.kind = static_cast<Kind>(bytes[0]);
+  f.port = bytes[1];
+  f.last = (bytes[2] & 1) != 0;
+  f.notify_completer = (bytes[2] & 2) != 0;
+  std::memcpy(&f.total_size, &bytes[4], 4);
+  std::memcpy(&f.offset, &bytes[8], 8);
+  std::memcpy(&f.src_nla, &bytes[16], 8);
+  std::memcpy(&f.dst_nla, &bytes[24], 8);
+  f.payload.assign(bytes.begin() + 32, bytes.end());
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / wiring.
+
+ExtollNic::ExtollNic(sim::Simulation& sim, pcie::Fabric& fabric,
+                     mem::MemoryDomain& memory, mem::BumpAllocator& host_arena,
+                     ExtollConfig cfg, std::string name)
+    : sim_(sim),
+      fabric_(fabric),
+      memory_(memory),
+      cfg_(cfg),
+      name_(std::move(name)) {
+  endpoint_id_ = fabric_.attach(name_, this, cfg_.pcie_link);
+  fabric_.claim_range(endpoint_id_, AddressMap::kExtollBarBase,
+                      AddressMap::kExtollBarSize);
+  dma_ = std::make_unique<pcie::DmaEngine>(sim_, fabric_, endpoint_id_,
+                                           cfg_.dma);
+  ports_.resize(cfg_.num_ports);
+  // The driver pre-allocates notification structures in kernel memory at
+  // load time; ports get theirs assigned at open_port.
+  for (PortState& port : ports_) {
+    for (NotifQueue* q : {&port.req_queue, &port.cmp_queue}) {
+      q->entries = cfg_.notif_queue_entries;
+      q->slot_base =
+          host_arena.alloc(q->entries * kNotificationBytes, 64);
+      q->rp_addr = host_arena.alloc(8, 8);
+    }
+  }
+}
+
+ExtollNic::~ExtollNic() = default;
+
+void ExtollNic::connect(net::NetworkLink* link, int side) {
+  link_ = link;
+  link_side_ = side;
+  link_->attach(side, [this](std::vector<std::uint8_t> bytes) {
+    on_frame(std::move(bytes));
+  });
+}
+
+SimDuration ExtollNic::core_cycles(std::uint32_t n) const {
+  const double period_ps = 1e12 / cfg_.core_clock_hz;
+  return static_cast<SimDuration>(period_ps * n);
+}
+
+// ---------------------------------------------------------------------------
+// Driver-level API.
+
+Result<PortInfo> ExtollNic::open_port(std::uint32_t port) {
+  if (port >= cfg_.num_ports) {
+    return out_of_range("open_port: port id beyond NIC capability");
+  }
+  PortState& state = ports_[port];
+  if (state.opened) {
+    return already_exists("open_port: port already open");
+  }
+  state.opened = true;
+  PortInfo info;
+  info.port = port;
+  info.requester_page =
+      AddressMap::kExtollBarBase + port * kRequesterPageSize;
+  info.req_queue_base = state.req_queue.slot_base;
+  info.req_rp_addr = state.req_queue.rp_addr;
+  info.cmp_queue_base = state.cmp_queue.slot_base;
+  info.cmp_rp_addr = state.cmp_queue.rp_addr;
+  info.queue_entries = cfg_.notif_queue_entries;
+  return info;
+}
+
+Result<Nla> ExtollNic::register_memory(Addr base, std::uint64_t length,
+                                       mem::Access access) {
+  return atu_.register_region(base, length, access);
+}
+
+Status ExtollNic::deregister_memory(Nla nla) { return atu_.deregister(nla); }
+
+Status ExtollNic::relocate_notification_queues(
+    std::uint32_t port, Addr req_base, Addr req_rp, Addr cmp_base,
+    Addr cmp_rp, std::uint32_t entries) {
+  if (port >= cfg_.num_ports || !ports_[port].opened) {
+    return not_found("relocate: port not open");
+  }
+  if (entries == 0 || !is_power_of_two(entries)) {
+    return invalid_argument("relocate: entries must be a power of two");
+  }
+  if (!memory_.backed(req_base, entries * kNotificationBytes) ||
+      !memory_.backed(cmp_base, entries * kNotificationBytes) ||
+      !memory_.backed(req_rp, 4) || !memory_.backed(cmp_rp, 4)) {
+    return invalid_argument("relocate: queues must be DRAM-backed");
+  }
+  PortState& state = ports_[port];
+  if (state.gated) {
+    return failed_precondition("relocate: WR in flight on this port");
+  }
+  state.req_queue = NotifQueue{req_base, req_rp, entries, 0, {}};
+  state.cmp_queue = NotifQueue{cmp_base, cmp_rp, entries, 0, {}};
+  return Status::ok();
+}
+
+void ExtollNic::post_work_request(const WorkRequest& wr) {
+  if (wr.port >= cfg_.num_ports || !ports_[wr.port].opened) {
+    ++protocol_violations_;
+    PG_WARN("extoll", "%s: WR to closed port %u", name_.c_str(), wr.port);
+    return;
+  }
+  if (wr.size == 0 ||
+      (wr.cmd != RmaCmd::kPut && wr.cmd != RmaCmd::kGet)) {
+    ++protocol_violations_;
+    PG_WARN("extoll", "%s: malformed WR on port %u", name_.c_str(), wr.port);
+    return;
+  }
+  PortState& port = ports_[wr.port];
+  if (port.gated) {
+    // Software posted a second WR before the requester freed the page.
+    ++protocol_violations_;
+    PG_WARN("extoll", "%s: WR posted to gated port %u", name_.c_str(),
+            wr.port);
+    return;
+  }
+  port.gated = true;
+  requester_fifo_.push_back(wr);
+  pump_requester();
+}
+
+// ---------------------------------------------------------------------------
+// Requester.
+
+void ExtollNic::pump_requester() {
+  if (requester_busy_ || requester_fifo_.empty()) return;
+  requester_busy_ = true;
+  const WorkRequest wr = requester_fifo_.front();
+  requester_fifo_.pop_front();
+  sim_.schedule(core_cycles(cfg_.wr_decode_cycles), [this, wr] {
+    // Decode complete; the requester can accept the next descriptor while
+    // this one's payload streams.
+    requester_busy_ = false;
+    if (wr.cmd == RmaCmd::kPut) {
+      auto src = atu_.translate(wr.src_nla, wr.size, mem::Access::kRead);
+      if (!src.is_ok()) {
+        ++translation_faults_;
+        PG_WARN("extoll", "%s: put source translation fault", name_.c_str());
+        requester_finished(wr);
+      } else {
+        execute_put(wr, *src);
+      }
+    } else {
+      execute_get(wr);
+    }
+    pump_requester();
+  });
+}
+
+void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
+  // Stream the payload in segments: DMA-pull a segment, push it through
+  // the 64-bit core datapath, hand it to the link. The pull of segment
+  // k+1 overlaps the push of segment k (the hardware streams), so a
+  // single large put approaches min(pull rate, core rate, link rate)
+  // instead of their serial sum. Segment reads complete in issue order
+  // (FIFO fabric), so wire order is preserved.
+  struct Job {
+    WorkRequest wr;
+    Addr src;
+    std::uint64_t issued = 0;  // bytes whose DMA pull has been started
+    std::function<void()> step;
+  };
+  auto job = std::make_shared<Job>();
+  job->wr = wr;
+  job->src = src_addr;
+  job->step = [this, job] {
+    const std::uint64_t offset = job->issued;
+    const std::uint64_t remaining = job->wr.size - offset;
+    const std::uint32_t seg = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.segment_bytes, remaining));
+    job->issued += seg;
+    const bool last = job->issued == job->wr.size;
+    dma_->read(
+        job->src + offset, seg,
+        [this, job, seg, offset, last](std::vector<std::uint8_t> data) {
+          // Overlap: pull the next segment while this one drains
+          // through the datapath.
+          if (!last) {
+            job->step();
+          }
+          const SimTime start = std::max(sim_.now(), datapath_busy_until_);
+          datapath_busy_until_ = start + core_rate().transfer_time(seg);
+          sim_.schedule_at(
+              datapath_busy_until_,
+              [this, job, offset, last, data = std::move(data)]() mutable {
+                Frame f;
+                f.kind = Frame::Kind::kPutSegment;
+                f.port = job->wr.port;
+                f.total_size = job->wr.size;
+                f.offset = offset;
+                f.src_nla = job->wr.src_nla;
+                f.dst_nla = job->wr.dst_nla;
+                f.notify_completer = job->wr.notify_completer;
+                f.last = last;
+                f.payload = std::move(data);
+                assert(link_ && "EXTOLL NIC not connected");
+                link_->send(link_side_, f.encode());
+                if (last) {
+                  requester_finished(job->wr);
+                  job->step = nullptr;  // break the cycle
+                }
+              });
+        });
+  };
+  job->step();
+}
+
+void ExtollNic::execute_get(const WorkRequest& wr) {
+  Frame f;
+  f.kind = Frame::Kind::kGetRequest;
+  f.port = wr.port;
+  f.total_size = wr.size;
+  f.src_nla = wr.src_nla;  // remote side's source
+  f.dst_nla = wr.dst_nla;  // our local destination
+  f.notify_completer = wr.notify_completer;
+  f.last = true;
+  assert(link_ && "EXTOLL NIC not connected");
+  link_->send(link_side_, f.encode());
+  requester_finished(wr);
+}
+
+void ExtollNic::requester_finished(const WorkRequest& wr) {
+  PortState& port = ports_[wr.port];
+  port.gated = false;  // the requester page can take the next WR
+  if (wr.notify_requester) {
+    Notification n;
+    n.unit = NotifyUnit::kRequester;
+    n.port = wr.port;
+    n.size = wr.size;
+    n.seq = ++port.req_seq;
+    n.nla = wr.src_nla;
+    write_notification(port, port.req_queue, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completer / responder.
+
+void ExtollNic::on_frame(std::vector<std::uint8_t> bytes) {
+  auto frame = Frame::decode(bytes);
+  if (!frame.is_ok()) {
+    ++protocol_violations_;
+    PG_ERROR("extoll", "%s: undecodable frame", name_.c_str());
+    return;
+  }
+  switch (frame->kind) {
+    case Frame::Kind::kPutSegment:
+      handle_put_segment(*frame);
+      break;
+    case Frame::Kind::kGetRequest:
+      handle_get_request(*frame);
+      break;
+    case Frame::Kind::kGetResponse:
+      handle_get_response(*frame);
+      break;
+  }
+}
+
+void ExtollNic::handle_put_segment(const Frame& f) {
+  auto dst = atu_.translate(f.dst_nla + f.offset, f.payload.size(),
+                            mem::Access::kWrite);
+  if (!dst.is_ok()) {
+    ++translation_faults_;
+    PG_WARN("extoll", "%s: put destination translation fault",
+            name_.c_str());
+    return;
+  }
+  const std::uint32_t seg = static_cast<std::uint32_t>(f.payload.size());
+  const SimTime start = std::max(sim_.now(), completer_busy_until_);
+  completer_busy_until_ = start + core_cycles(cfg_.completer_cycles) +
+                          core_rate().transfer_time(seg);
+  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() {
+    dma_->write(dst, f.payload, [this, f] {
+      if (!f.last) return;
+      ++puts_completed_;
+      PortState& port = ports_[f.port];
+      if (f.notify_completer && port.opened) {
+        Notification n;
+        n.unit = NotifyUnit::kCompleter;
+        n.port = f.port;
+        n.size = f.total_size;
+        n.seq = ++port.cmp_seq;
+        n.nla = f.dst_nla;
+        write_notification(port, port.cmp_queue, n);
+      }
+    });
+  });
+}
+
+void ExtollNic::handle_get_request(const Frame& f) {
+  auto src =
+      atu_.translate(f.src_nla, f.total_size, mem::Access::kRead);
+  if (!src.is_ok()) {
+    ++translation_faults_;
+    PG_WARN("extoll", "%s: get source translation fault", name_.c_str());
+    return;
+  }
+  // The completer pulls the data and hands it to the responder, which
+  // streams response segments back to the origin.
+  struct Job {
+    Frame req;
+    Addr src;
+    std::uint64_t sent = 0;
+    std::function<void()> step;
+  };
+  auto job = std::make_shared<Job>();
+  job->req = f;
+  job->src = *src;
+  job->step = [this, job] {
+    const std::uint64_t offset = job->sent;
+    const std::uint64_t remaining = job->req.total_size - offset;
+    const std::uint32_t seg = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.segment_bytes, remaining));
+    job->sent += seg;
+    const bool last = job->sent == job->req.total_size;
+    dma_->read(
+        job->src + offset, seg,
+        [this, job, seg, offset, last](std::vector<std::uint8_t> data) {
+          if (!last) {
+            job->step();  // overlap the next pull with this push
+          }
+          const SimTime start = std::max(sim_.now(), responder_busy_until_);
+          responder_busy_until_ = start +
+                                  core_cycles(cfg_.responder_cycles) +
+                                  core_rate().transfer_time(seg);
+          sim_.schedule_at(
+              responder_busy_until_,
+              [this, job, offset, last, data = std::move(data)]() mutable {
+                Frame resp;
+                resp.kind = Frame::Kind::kGetResponse;
+                resp.port = job->req.port;
+                resp.total_size = job->req.total_size;
+                resp.offset = offset;
+                resp.src_nla = job->req.src_nla;
+                resp.dst_nla = job->req.dst_nla;
+                resp.notify_completer = job->req.notify_completer;
+                resp.last = last;
+                resp.payload = std::move(data);
+                link_->send(link_side_, resp.encode());
+                if (last) job->step = nullptr;
+              });
+        });
+  };
+  job->step();
+}
+
+void ExtollNic::handle_get_response(const Frame& f) {
+  auto dst = atu_.translate(f.dst_nla + f.offset, f.payload.size(),
+                            mem::Access::kWrite);
+  if (!dst.is_ok()) {
+    ++translation_faults_;
+    PG_WARN("extoll", "%s: get destination translation fault",
+            name_.c_str());
+    return;
+  }
+  const std::uint32_t seg = static_cast<std::uint32_t>(f.payload.size());
+  const SimTime start = std::max(sim_.now(), completer_busy_until_);
+  completer_busy_until_ = start + core_cycles(cfg_.completer_cycles) +
+                          core_rate().transfer_time(seg);
+  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() {
+    dma_->write(dst, f.payload, [this, f] {
+      if (!f.last) return;
+      ++gets_completed_;
+      PortState& port = ports_[f.port];
+      if (f.notify_completer && port.opened) {
+        Notification n;
+        n.unit = NotifyUnit::kCompleter;
+        n.port = f.port;
+        n.size = f.total_size;
+        n.seq = ++port.cmp_seq;
+        n.nla = f.dst_nla;
+        write_notification(port, port.cmp_queue, n);
+      }
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Notifications.
+
+void ExtollNic::write_notification(PortState& port, NotifQueue& queue,
+                                   const Notification& n) {
+  (void)port;
+  // The NIC sees read-pointer updates as MMIO writes from the consumer;
+  // modelled as a zero-time peek of the pointer cell.
+  const std::uint32_t rp = memory_.read_u32(queue.rp_addr);
+  if (queue.wp - rp >= queue.entries) {
+    ++notifications_dropped_;
+    PG_ERROR("extoll", "%s: notification queue overflow (port %u)",
+             name_.c_str(), n.port);
+    return;
+  }
+  const Addr slot =
+      queue.slot_base + (queue.wp % queue.entries) * kNotificationBytes;
+  ++queue.wp;
+  std::vector<std::uint8_t> bytes(kNotificationBytes);
+  const std::uint64_t w0 = n.encode_word0();
+  const std::uint64_t w1 = n.encode_word1();
+  std::memcpy(bytes.data(), &w0, 8);
+  std::memcpy(bytes.data() + 8, &w1, 8);
+  ++notifications_written_;
+  sim_.schedule(core_cycles(cfg_.notification_cycles),
+                [this, slot, bytes = std::move(bytes)]() mutable {
+                  fabric_.write(endpoint_id_, slot, std::move(bytes));
+                });
+}
+
+// ---------------------------------------------------------------------------
+// PCIe endpoint: the BAR requester pages.
+
+void ExtollNic::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
+  assert(addr >= AddressMap::kExtollBarBase);
+  const std::uint64_t offset = addr - AddressMap::kExtollBarBase;
+  const std::uint32_t port_id =
+      static_cast<std::uint32_t>(offset / kRequesterPageSize);
+  const std::uint64_t word_off = offset % kRequesterPageSize;
+  if (port_id >= cfg_.num_ports || data.size() != 8 || word_off > 16 ||
+      word_off % 8 != 0) {
+    ++protocol_violations_;
+    PG_WARN("extoll", "%s: stray BAR write at +0x%llx (%zu bytes)",
+            name_.c_str(), static_cast<unsigned long long>(offset),
+            data.size());
+    return;
+  }
+  PortState& port = ports_[port_id];
+  std::uint64_t value = 0;
+  std::memcpy(&value, data.data(), 8);
+  const unsigned word = static_cast<unsigned>(word_off / 8);
+  port.staging[word] = value;
+  port.staged_mask |= static_cast<std::uint8_t>(1u << word);
+  if (word_off == kWrWord2Offset) {
+    if (port.staged_mask != 0b111) {
+      ++protocol_violations_;
+      PG_WARN("extoll", "%s: WR kicked with incomplete staging on port %u",
+              name_.c_str(), port_id);
+      port.staged_mask = 0;
+      return;
+    }
+    port.staged_mask = 0;
+    WorkRequest wr = WorkRequest::decode(port.staging[0], port.staging[1],
+                                         port.staging[2]);
+    wr.port = static_cast<std::uint8_t>(port_id);  // page implies the port
+    post_work_request(wr);
+  }
+}
+
+SimTime ExtollNic::inbound_read(SimTime arrival, Addr /*addr*/,
+                                std::span<std::uint8_t> out) {
+  // The requester pages are write-only; reads return zeros (and would be
+  // a software bug worth noticing).
+  PG_WARN("extoll", "%s: read from write-only BAR", name_.c_str());
+  std::fill(out.begin(), out.end(), 0);
+  return arrival + core_cycles(4);
+}
+
+}  // namespace pg::extoll

@@ -1,0 +1,213 @@
+// InfiniBand queue-element wire formats and the host-side codec.
+//
+// WQE fields are big-endian on the wire - the paper singles out the
+// conversion cost ("the elements for the work requests have to be
+// converted from little-endian to big-endian"), so the codec here swaps
+// explicitly, and the GPU-resident post routine performs the same swaps
+// with BSWAP instructions that show up in its instruction count.
+// Consumed queue slots must be re-stamped so the device's prefetcher
+// recognizes them as unused - also per the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "mem/address_map.h"
+
+namespace pg::ib {
+
+enum class WqeOpcode : std::uint8_t {
+  kInvalid = 0,
+  kRdmaWrite = 1,
+  kRdmaRead = 2,
+  kSend = 3,
+  kRdmaWriteImm = 4,
+};
+
+enum class WcStatus : std::uint8_t {
+  kSuccess = 0,
+  kRnrError = 1,        // send arrived with no receive posted
+  kProtectionError = 2, // rkey/lkey validation failed
+};
+
+constexpr std::uint8_t kWqeFlagSignaled = 0x1;
+
+/// The stamp value marking a slot as a live, newly produced WQE; consumed
+/// slots are re-stamped with kWqeStampFree.
+constexpr std::uint64_t kWqeStampValid = 0x57514545'4C495645ull;  // "WQEELIVE"
+constexpr std::uint64_t kWqeStampFree = 0ull;
+
+/// Send-queue element, 64 bytes.
+///
+/// Layout (BE = big-endian on the wire):
+///   [0]  opcode           [1] flags        [2..3] reserved
+///   [4]  byte_len   (BE32)
+///   [8]  laddr      (BE64)
+///   [16] lkey       (BE32) [20] rkey (BE32)
+///   [24] raddr      (BE64)
+///   [32] wr_id      (host order; never leaves the node)
+///   [40] imm        (BE32) [44] producer index (host order)
+///   [48] stamp      (host order)
+///   [56] reserved
+struct SendWqe {
+  WqeOpcode opcode = WqeOpcode::kInvalid;
+  bool signaled = false;
+  std::uint32_t byte_len = 0;
+  std::uint64_t laddr = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t raddr = 0;
+  std::uint64_t wr_id = 0;
+  std::uint32_t imm = 0;
+  std::uint32_t index = 0;
+};
+
+constexpr std::uint32_t kSendWqeBytes = 64;
+
+inline std::array<std::uint8_t, kSendWqeBytes> encode_send_wqe(
+    const SendWqe& wqe) {
+  std::array<std::uint8_t, kSendWqeBytes> out{};
+  out[0] = static_cast<std::uint8_t>(wqe.opcode);
+  out[1] = wqe.signaled ? kWqeFlagSignaled : 0;
+  const std::uint32_t len_be = host_to_be32(wqe.byte_len);
+  const std::uint64_t laddr_be = host_to_be64(wqe.laddr);
+  const std::uint32_t lkey_be = host_to_be32(wqe.lkey);
+  const std::uint32_t rkey_be = host_to_be32(wqe.rkey);
+  const std::uint64_t raddr_be = host_to_be64(wqe.raddr);
+  const std::uint32_t imm_be = host_to_be32(wqe.imm);
+  std::memcpy(&out[4], &len_be, 4);
+  std::memcpy(&out[8], &laddr_be, 8);
+  std::memcpy(&out[16], &lkey_be, 4);
+  std::memcpy(&out[20], &rkey_be, 4);
+  std::memcpy(&out[24], &raddr_be, 8);
+  std::memcpy(&out[32], &wqe.wr_id, 8);
+  std::memcpy(&out[40], &imm_be, 4);
+  std::memcpy(&out[44], &wqe.index, 4);
+  std::memcpy(&out[48], &kWqeStampValid, 8);
+  return out;
+}
+
+inline SendWqe decode_send_wqe(const std::uint8_t* bytes) {
+  SendWqe wqe;
+  wqe.opcode = static_cast<WqeOpcode>(bytes[0]);
+  wqe.signaled = (bytes[1] & kWqeFlagSignaled) != 0;
+  std::uint32_t len_be, lkey_be, rkey_be, imm_be;
+  std::uint64_t laddr_be, raddr_be;
+  std::memcpy(&len_be, bytes + 4, 4);
+  std::memcpy(&laddr_be, bytes + 8, 8);
+  std::memcpy(&lkey_be, bytes + 16, 4);
+  std::memcpy(&rkey_be, bytes + 20, 4);
+  std::memcpy(&raddr_be, bytes + 24, 8);
+  std::memcpy(&wqe.wr_id, bytes + 32, 8);
+  std::memcpy(&imm_be, bytes + 40, 4);
+  std::memcpy(&wqe.index, bytes + 44, 4);
+  wqe.byte_len = be_to_host32(len_be);
+  wqe.laddr = be_to_host64(laddr_be);
+  wqe.lkey = be_to_host32(lkey_be);
+  wqe.rkey = be_to_host32(rkey_be);
+  wqe.raddr = be_to_host64(raddr_be);
+  wqe.imm = be_to_host32(imm_be);
+  return wqe;
+}
+
+inline bool send_wqe_stamp_valid(const std::uint8_t* bytes) {
+  std::uint64_t stamp;
+  std::memcpy(&stamp, bytes + 48, 8);
+  return stamp == kWqeStampValid;
+}
+
+/// Receive-queue element, 32 bytes:
+///   [0] addr (BE64)  [8] lkey (BE32)  [12] len (BE32)
+///   [16] wr_id (host order)  [24] stamp (host order)
+struct RecvWqe {
+  std::uint64_t addr = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t len = 0;
+  std::uint64_t wr_id = 0;
+};
+
+constexpr std::uint32_t kRecvWqeBytes = 32;
+
+inline std::array<std::uint8_t, kRecvWqeBytes> encode_recv_wqe(
+    const RecvWqe& wqe) {
+  std::array<std::uint8_t, kRecvWqeBytes> out{};
+  const std::uint64_t addr_be = host_to_be64(wqe.addr);
+  const std::uint32_t lkey_be = host_to_be32(wqe.lkey);
+  const std::uint32_t len_be = host_to_be32(wqe.len);
+  std::memcpy(&out[0], &addr_be, 8);
+  std::memcpy(&out[8], &lkey_be, 4);
+  std::memcpy(&out[12], &len_be, 4);
+  std::memcpy(&out[16], &wqe.wr_id, 8);
+  std::memcpy(&out[24], &kWqeStampValid, 8);
+  return out;
+}
+
+inline RecvWqe decode_recv_wqe(const std::uint8_t* bytes) {
+  RecvWqe wqe;
+  std::uint64_t addr_be;
+  std::uint32_t lkey_be, len_be;
+  std::memcpy(&addr_be, bytes + 0, 8);
+  std::memcpy(&lkey_be, bytes + 8, 4);
+  std::memcpy(&len_be, bytes + 12, 4);
+  std::memcpy(&wqe.wr_id, bytes + 16, 8);
+  wqe.addr = be_to_host64(addr_be);
+  wqe.lkey = be_to_host32(lkey_be);
+  wqe.len = be_to_host32(len_be);
+  return wqe;
+}
+
+/// Completion-queue element, 32 bytes:
+///   [0] wr_id  [8] qpn (u32)  [12] byte_len (u32)
+///   [16] opcode (u8), status (u8), recv flag (u8), pad
+///   [20] imm (u32)  [24] valid marker (u64, nonzero; consumer zeroes)
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  std::uint32_t qpn = 0;
+  std::uint32_t byte_len = 0;
+  WqeOpcode opcode = WqeOpcode::kInvalid;
+  WcStatus status = WcStatus::kSuccess;
+  bool is_recv = false;
+  std::uint32_t imm = 0;
+};
+
+constexpr std::uint32_t kCqeBytes = 32;
+constexpr std::uint64_t kCqeValidMarker = 0x43514543'4F4D5031ull;
+
+inline std::array<std::uint8_t, kCqeBytes> encode_cqe(const Cqe& cqe) {
+  std::array<std::uint8_t, kCqeBytes> out{};
+  std::memcpy(&out[0], &cqe.wr_id, 8);
+  std::memcpy(&out[8], &cqe.qpn, 4);
+  std::memcpy(&out[12], &cqe.byte_len, 4);
+  out[16] = static_cast<std::uint8_t>(cqe.opcode);
+  out[17] = static_cast<std::uint8_t>(cqe.status);
+  out[18] = cqe.is_recv ? 1 : 0;
+  std::memcpy(&out[20], &cqe.imm, 4);
+  std::memcpy(&out[24], &kCqeValidMarker, 8);
+  return out;
+}
+
+inline Cqe decode_cqe(const std::uint8_t* bytes) {
+  Cqe cqe;
+  std::memcpy(&cqe.wr_id, bytes + 0, 8);
+  std::memcpy(&cqe.qpn, bytes + 8, 4);
+  std::memcpy(&cqe.byte_len, bytes + 12, 4);
+  cqe.opcode = static_cast<WqeOpcode>(bytes[16]);
+  cqe.status = static_cast<WcStatus>(bytes[17]);
+  cqe.is_recv = bytes[18] != 0;
+  std::memcpy(&cqe.imm, bytes + 20, 4);
+  return cqe;
+}
+
+inline bool cqe_valid(const std::uint8_t* bytes) {
+  std::uint64_t marker;
+  std::memcpy(&marker, bytes + 24, 8);
+  return marker != 0;
+}
+
+/// Byte offset of the CQE valid marker within a slot (device code polls
+/// this word directly).
+constexpr std::uint64_t kCqeValidOffset = 24;
+
+}  // namespace pg::ib

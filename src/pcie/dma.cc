@@ -1,0 +1,67 @@
+#include "pcie/dma.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+namespace pg::pcie {
+
+void DmaEngine::read(mem::Addr addr, std::uint64_t len,
+                     std::function<void(std::vector<std::uint8_t>)> on_done) {
+  assert(len > 0);
+  auto job = std::make_shared<ReadJob>();
+  job->base = addr;
+  job->length = len;
+  job->buffer.resize(len);
+  job->on_done = std::move(on_done);
+  pump_reads(job);
+}
+
+void DmaEngine::pump_reads(const std::shared_ptr<ReadJob>& job) {
+  while (job->next_offset < job->length &&
+         job->outstanding < cfg_.max_outstanding_reads) {
+    const std::uint64_t offset = job->next_offset;
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cfg_.read_request_size, job->length - offset));
+    job->next_offset += chunk;
+    ++job->outstanding;
+    ++reads_issued_;
+    fabric_.read(self_, job->base + offset, chunk,
+                 [this, job, offset, chunk](std::vector<std::uint8_t> data) {
+                   assert(data.size() == chunk);
+                   std::memcpy(job->buffer.data() + offset, data.data(),
+                               chunk);
+                   --job->outstanding;
+                   job->received += chunk;
+                   if (job->received == job->length) {
+                     job->on_done(std::move(job->buffer));
+                     return;
+                   }
+                   pump_reads(job);
+                 });
+  }
+}
+
+void DmaEngine::write(mem::Addr addr, std::vector<std::uint8_t> data,
+                      std::function<void()> on_done) {
+  assert(!data.empty());
+  const std::uint64_t total = data.size();
+  std::uint64_t offset = 0;
+  // Posted writes: issue all chunks back to back; the link model
+  // serializes them. Only the final chunk carries the completion callback
+  // ("last byte landed").
+  while (offset < total) {
+    const auto chunk = static_cast<std::uint64_t>(std::min<std::uint64_t>(
+        cfg_.write_chunk_size, total - offset));
+    std::vector<std::uint8_t> piece(data.begin() + offset,
+                                    data.begin() + offset + chunk);
+    const bool last = offset + chunk == total;
+    ++writes_issued_;
+    fabric_.write(self_, addr + offset, std::move(piece),
+                  last ? std::move(on_done) : std::function<void()>{});
+    offset += chunk;
+  }
+}
+
+}  // namespace pg::pcie

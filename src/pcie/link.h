@@ -1,0 +1,66 @@
+// Analytic model of one PCIe link direction.
+//
+// A link serializes traffic: each transfer occupies the wire for
+// (payload + per-TLP overhead) / bandwidth, then takes `propagation`
+// (flight time through the switch hierarchy) to arrive. Contention is
+// modelled by the busy-until timestamp: a transfer entering a busy link
+// starts when the wire frees up. This reproduces the two effects the
+// paper leans on: (1) many small control transactions (notification
+// polls) are latency-bound, and (2) bulk DMA is bandwidth-bound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/bitops.h"
+#include "common/units.h"
+
+namespace pg::pcie {
+
+struct LinkConfig {
+  Bandwidth bandwidth = gigabytes_per_second(6.5);  // Gen3 x8-class, effective
+  SimDuration propagation = nanoseconds(250);       // endpoint->root flight
+  std::uint32_t max_payload = 256;                  // bytes per TLP
+  std::uint32_t tlp_overhead = 26;                  // header + LCRC + framing
+};
+
+class Link {
+ public:
+  explicit Link(LinkConfig cfg) : cfg_(cfg) {}
+
+  /// Bytes on the wire for a `payload_bytes` transfer, including TLP
+  /// framing. Zero-payload transactions (read requests) still cost one TLP.
+  std::uint64_t wire_bytes(std::uint64_t payload_bytes) const {
+    const std::uint64_t tlps =
+        payload_bytes == 0
+            ? 1
+            : div_ceil(payload_bytes, cfg_.max_payload);
+    return payload_bytes + tlps * cfg_.tlp_overhead;
+  }
+
+  /// Enqueues a transfer entering the link at `now`; returns its arrival
+  /// time at the other end and marks the wire busy until serialization
+  /// completes.
+  SimTime occupy(SimTime now, std::uint64_t payload_bytes) {
+    const SimTime start = std::max(now, busy_until_);
+    const SimTime done =
+        start + cfg_.bandwidth.transfer_time(wire_bytes(payload_bytes));
+    busy_until_ = done;
+    bytes_carried_ += payload_bytes;
+    ++transfers_;
+    return done + cfg_.propagation;
+  }
+
+  SimTime busy_until() const { return busy_until_; }
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+  std::uint64_t transfers() const { return transfers_; }
+  const LinkConfig& config() const { return cfg_; }
+
+ private:
+  LinkConfig cfg_;
+  SimTime busy_until_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace pg::pcie

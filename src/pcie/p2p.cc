@@ -1,0 +1,45 @@
+#include "pcie/p2p.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace pg::pcie {
+
+bool GpuP2pReadServer::touch_page(std::uint64_t page) {
+  auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    ++page_hits_;
+    return true;
+  }
+  ++page_misses_;
+  lru_.push_front(page);
+  resident_[page] = lru_.begin();
+  if (lru_.size() > cfg_.page_lru_capacity) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+SimTime GpuP2pReadServer::serve(SimTime arrival, mem::Addr addr,
+                                std::uint64_t len) {
+  if (!cfg_.model_enabled) {
+    // Ablation: ideal server, only base latency.
+    return arrival + cfg_.base_latency;
+  }
+  const SimTime start = std::max(arrival, busy_until_);
+  SimDuration service = cfg_.base_latency + cfg_.read_throughput.transfer_time(len);
+  if (len > 0) {
+    const std::uint64_t first = addr / kPageSize;
+    const std::uint64_t last = (addr + len - 1) / kPageSize;
+    for (std::uint64_t page = first; page <= last; ++page) {
+      if (!touch_page(page)) service += cfg_.page_miss_penalty;
+    }
+  }
+  busy_until_ = start + service;
+  return busy_until_;
+}
+
+}  // namespace pg::pcie

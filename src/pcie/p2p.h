@@ -1,0 +1,67 @@
+// Model of the GPU's peer-to-peer read path.
+//
+// When another PCIe device (here: a NIC) reads GPU memory through the
+// GPUDirect BAR aperture, service is NOT at link rate: the GPU's read
+// pipeline for peer traffic is narrow (roughly 1 GB/s on the Kepler-class
+// parts of the paper's testbed), and reads that sweep a footprint larger
+// than the aperture's resident page window thrash page contexts, which is
+// how we model the bandwidth drop above 1 MB that the paper observes and
+// attributes to "a PCIe peer-to-peer issue" (citing Si/Ishikawa and
+// Potluri et al.).
+//
+// Mechanism: a busy-until server with a fixed throughput, plus an LRU of
+// open 4 KiB page contexts; touching a non-resident page stalls the
+// pipeline for `page_miss_penalty`. A streaming benchmark that reuses a
+// <= 1 MiB buffer keeps all pages resident after the first pass and runs
+// at the ceiling; a larger buffer misses on every page of every pass.
+//
+// Writes INTO GPU memory are not affected (the paper's drop "only occurs
+// if data has been read from the GPU by another PCIe device").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "mem/address_map.h"
+
+namespace pg::pcie {
+
+struct P2pConfig {
+  bool model_enabled = true;  // ablation switch (bench/ablation_p2p)
+  Bandwidth read_throughput = gigabytes_per_second(1.05);
+  SimDuration base_latency = nanoseconds(350);
+  std::size_t page_lru_capacity = 256;  // 4 KiB pages -> 1 MiB window
+  SimDuration page_miss_penalty = nanoseconds(1500);
+};
+
+class GpuP2pReadServer {
+ public:
+  explicit GpuP2pReadServer(P2pConfig cfg) : cfg_(cfg) {}
+
+  /// Accepts a peer read of [addr, addr+len) arriving at `arrival`;
+  /// returns the time the data leaves the GPU.
+  SimTime serve(SimTime arrival, mem::Addr addr, std::uint64_t len);
+
+  std::uint64_t page_hits() const { return page_hits_; }
+  std::uint64_t page_misses() const { return page_misses_; }
+  const P2pConfig& config() const { return cfg_; }
+
+ private:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// Touches a page context; returns true on a resident hit.
+  bool touch_page(std::uint64_t page);
+
+  P2pConfig cfg_;
+  SimTime busy_until_ = 0;
+  // LRU: most-recent at front. The map points into the list.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      resident_;
+  std::uint64_t page_hits_ = 0;
+  std::uint64_t page_misses_ = 0;
+};
+
+}  // namespace pg::pcie

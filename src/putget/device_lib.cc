@@ -1,0 +1,686 @@
+#include "putget/device_lib.h"
+
+#include <cassert>
+
+namespace pg::putget {
+
+using gpu::Assembler;
+using gpu::Cmp;
+using gpu::Program;
+using gpu::Reg;
+using gpu::Sreg;
+
+namespace {
+
+/// Finishes assembly; device-library programs are internal, so a failure
+/// here is a library bug, not user error.
+Program must_finish(Assembler& a) {
+  auto p = a.finish();
+  assert(p.is_ok() && "device-library program failed to assemble");
+  return std::move(p).value();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EXTOLL primitives.
+
+void emit_extoll_post_put(Assembler& a, Reg bar, Reg src, Reg dst,
+                          const ExtollWrTemplate& wr, Reg s0) {
+  extoll::WorkRequest proto;
+  proto.cmd = extoll::RmaCmd::kPut;
+  proto.port = wr.port;
+  proto.size = wr.size;
+  proto.notify_requester = wr.notify_requester;
+  proto.notify_completer = wr.notify_completer;
+  // Payload stores must be visible to the NIC before the WR kicks.
+  a.membar_sys();
+  // The three 64-bit WR words; the third write starts the transfer.
+  a.movi(s0, static_cast<std::int64_t>(proto.encode_word0()));
+  a.st(bar, s0, extoll::kWrWord0Offset, 8);
+  a.st(bar, src, extoll::kWrWord1Offset, 8);
+  a.st(bar, dst, extoll::kWrWord2Offset, 8);
+}
+
+void emit_extoll_poll_consume_notification(Assembler& a,
+                                           const DeviceNotifQueue& q,
+                                           Reg s0, Reg s1, Reg s2) {
+  const std::string poll = a.fresh_label("notif_poll");
+  a.bind(poll);
+  // slot = base + ((index & mask) << 4)
+  a.andi(s0, q.index, q.entry_mask);
+  a.shli(s0, s0, 4);
+  a.add(s0, s0, q.slot_base);
+  // The probe mirrors the RMA library's notification query: load the
+  // first notification word (one PCIe round trip) and decode its fields
+  // before deciding. Table I's heavy sysmem-read traffic is this loop.
+  a.ld(s1, s0, 0, 8);  // word 0 (PCIe round trip)
+  // Decode: unit, port, size (retired work the API performs per probe).
+  a.andi(s2, s1, 0xFF);           // unit field
+  a.shri(s2, s1, 8);
+  a.andi(s2, s2, 0xFF);           // port field
+  a.shri(s2, s1, 16);
+  a.andi(s2, s2, 0xFFFFFFFFll);   // size field
+  // Valid flag is bit 63: signed >= 0 means "still empty".
+  a.setpi(Cmp::kGe, s2, s1, 0);
+  const std::string consume = a.fresh_label("notif_consume");
+  a.bra_ifnot(s2, consume);
+  // Backoff spin between failed probes: hammering the PCIe link with
+  // back-to-back notification reads starves the NIC's DMA engines, so
+  // the library busy-waits a few dozen cycles between probes. (These
+  // retired ALU instructions are a large part of the notification-path
+  // instruction count in Table I.)
+  a.movi(s2, 16);
+  const std::string backoff = a.fresh_label("notif_backoff");
+  a.bind(backoff);
+  a.addi(s2, s2, -1);
+  a.setpi(Cmp::kNe, s1, s2, 0);
+  a.bra_if(s1, backoff);
+  a.bra(poll);
+  a.bind(consume);
+  // Consume: read the payload word, zero the slot (free it), publish the
+  // new read pointer.
+  a.ld(s2, s0, 8, 8);  // word 1 (PCIe round trip)
+  a.movi(s1, 0);
+  a.st(s0, s1, 0, 8);
+  a.st(s0, s1, 8, 8);
+  a.addi(q.index, q.index, 1);
+  a.st(q.rp_cell, q.index, 0, 4);
+}
+
+void emit_poll_equals(Assembler& a, Reg addr, Reg expected, unsigned width,
+                      Reg s0, Reg s1) {
+  const std::string poll = a.fresh_label("mem_poll");
+  a.bind(poll);
+  a.ld(s0, addr, 0, width);
+  a.setp(Cmp::kNe, s1, s0, expected);
+  a.bra_if(s1, poll);
+}
+
+// ---------------------------------------------------------------------------
+// InfiniBand primitives.
+
+void emit_ib_post_send(Assembler& a, const IbPostSendRegs& regs,
+                       const IbPostSendTemplate& tmpl, Reg s0, Reg s1,
+                       Reg s2, Reg s3, Reg s4, Reg s5) {
+  const Reg qpc = regs.qpc;
+
+  // --- 0. Marshal the ibv_send_wr structure. The verbs API takes work
+  // requests by pointer, so the caller packs every field into a struct
+  // in memory and post_send unpacks it again - pure overhead for a
+  // single GPU thread, faithfully reproduced.
+  //   wr layout (in the QP context scratch area):
+  //     +0 wr_id  +8 opcode  +16 flags  +24 byte_len
+  //     +32 laddr +40 lkey   +48 raddr  +56 rkey  +64 imm  +72 num_sge
+  a.st(qpc, regs.wr_id, kQpcWrScratch + 0, 8);
+  a.movi(s0, static_cast<std::int64_t>(tmpl.opcode));
+  a.st(qpc, s0, kQpcWrScratch + 8, 8);
+  a.movi(s0, tmpl.signaled ? 1 : 0);
+  a.st(qpc, s0, kQpcWrScratch + 16, 8);
+  a.movi(s0, static_cast<std::int64_t>(tmpl.byte_len));
+  a.st(qpc, s0, kQpcWrScratch + 24, 8);
+  a.st(qpc, regs.laddr, kQpcWrScratch + 32, 8);
+  a.movi(s0, static_cast<std::int64_t>(tmpl.lkey));
+  a.st(qpc, s0, kQpcWrScratch + 40, 8);
+  a.st(qpc, regs.raddr, kQpcWrScratch + 48, 8);
+  a.movi(s0, static_cast<std::int64_t>(tmpl.rkey));
+  a.st(qpc, s0, kQpcWrScratch + 56, 8);
+  a.movi(s0, static_cast<std::int64_t>(tmpl.imm));
+  a.st(qpc, s0, kQpcWrScratch + 64, 8);
+  a.movi(s0, 1);  // one scatter/gather element
+  a.st(qpc, s0, kQpcWrScratch + 72, 8);
+
+  // --- 1. Load QP state from memory (the ported verbs keeps the QP
+  // structure in device-visible memory, so every field is a load).
+  a.ld(s0, qpc, kQpcSqBuffer, 8);   // s0 = sq ring base
+  a.ld(s1, qpc, kQpcSqMask, 8);     // s1 = entry mask
+  a.ld(s2, qpc, kQpcSqPi, 8);       // s2 = producer index
+
+  // --- 2. Ring-space check (producer vs published consumer progress).
+  a.ld(s3, qpc, kQpcCqCi, 8);
+  a.sub(s3, s2, s3);                // outstanding
+  const std::string full = a.fresh_label("sq_full");
+  const std::string have_space = a.fresh_label("sq_space");
+  a.setp(Cmp::kGeU, s4, s3, s1);    // outstanding >= mask (~entries-1)
+  a.bra_ifnot(s4, have_space);
+  a.bind(full);
+  // Queue full: spin on the consumer index until space frees. (The real
+  // code returns ENOMEM; a single-threaded GPU caller spins.)
+  a.ld(s3, qpc, kQpcCqCi, 8);
+  a.sub(s3, s2, s3);
+  a.setp(Cmp::kGeU, s4, s3, s1);
+  a.bra_if(s4, full);
+  a.bind(have_space);
+
+  // --- 3. Unpack and validate the work request (the verbs fast path
+  // reads the struct back and checks opcode, sge count and flags).
+  a.ld(s3, qpc, kQpcWrScratch + 8, 8);   // opcode
+  a.setpi(Cmp::kEq, s4, s3,
+          static_cast<std::int64_t>(ib::WqeOpcode::kRdmaWrite));
+  a.setpi(Cmp::kEq, s5, s3,
+          static_cast<std::int64_t>(ib::WqeOpcode::kRdmaWriteImm));
+  a.or_(s4, s4, s5);
+  a.setpi(Cmp::kEq, s5, s3,
+          static_cast<std::int64_t>(ib::WqeOpcode::kSend));
+  a.or_(s4, s4, s5);
+  a.setpi(Cmp::kEq, s5, s3,
+          static_cast<std::int64_t>(ib::WqeOpcode::kRdmaRead));
+  a.or_(s4, s4, s5);
+  // (s4 is "opcode is legal"; the benchmarked fast path falls through.)
+  a.ld(s3, qpc, kQpcWrScratch + 72, 8);  // num_sge
+  a.setpi(Cmp::kLe, s4, s3, 16);         // bounds check
+  a.ld(s3, qpc, kQpcWrScratch + 16, 8);  // flags
+  a.andi(s4, s3, 0x1);                   // signaled bit
+
+  // --- 4. Compute the slot address: slot = base + (pi & mask) * 64,
+  // plus the owner bit for this ring pass (mlx4's ownership scheme).
+  a.and_(s3, s2, s1);
+  a.shli(s3, s3, 6);
+  a.add(s3, s3, s0);                // s3 = slot address
+  a.not_(s5, s1);                   // ~mask
+  a.and_(s5, s2, s5);               // pass count bits
+  a.setpi(Cmp::kNe, s5, s5, 0);     // owner bit (retired, then unused)
+
+  // --- 5. Stamp the stride we are about to rebuild so the HCA
+  // prefetcher never mistakes stale bytes for a live WQE (mlx4-style
+  // stamping loop; stamping an entry still owned by the hardware would
+  // race its fetch, so the library stamps on reuse).
+  a.mov(s4, s3);                    // s4 = current slot
+  a.movi(s5, 0);
+  {
+    const Reg count = s0;  // ring base no longer needed until publish
+    const std::string stamp = a.fresh_label("stamp_loop");
+    a.movi(count, 8);
+    a.bind(stamp);
+    a.st(s4, s5, 0, 8);
+    a.addi(s4, s4, 8);
+    a.addi(count, count, -1);
+    a.setpi(Cmp::kNe, s5, count, 0);
+    a.bra_if(s5, stamp);
+    a.movi(s5, 0);
+  }
+  a.ld(s0, qpc, kQpcSqBuffer, 8);   // reload ring base
+
+  // --- 6. Build the WQE, converting every wire field to big-endian.
+  // With preswap_static_fields, constants were converted at compile time
+  // (the paper's optimization); only per-message addresses are swapped
+  // at run time.
+  // Control segment - word 0: opcode | flags | byte_len(BE32) << 32.
+  if (tmpl.preswap_static_fields) {
+    const std::uint64_t w0 =
+        static_cast<std::uint64_t>(tmpl.opcode) |
+        (static_cast<std::uint64_t>(tmpl.signaled ? 1 : 0) << 8) |
+        (static_cast<std::uint64_t>(host_to_be32(tmpl.byte_len)) << 32);
+    a.movi(s5, static_cast<std::int64_t>(w0));
+  } else {
+    a.ld(s5, qpc, kQpcWrScratch + 24, 8);  // byte_len
+    a.bswap32(s5, s5);
+    a.shli(s5, s5, 32);
+    a.ld(s4, qpc, kQpcWrScratch + 8, 8);   // opcode
+    a.and_(s4, s4, s4);
+    {
+      // flags << 8 folded in.
+      const Reg f = s1;  // mask reloaded later
+      a.ld(f, qpc, kQpcWrScratch + 16, 8);
+      a.shli(f, f, 8);
+      a.or_(s4, s4, f);
+    }
+    a.or_(s5, s5, s4);
+  }
+  a.st(s3, s5, 0, 8);
+  // Remote-address segment: raddr (BE64), rkey (BE32).
+  a.ld(s5, qpc, kQpcWrScratch + 48, 8);
+  a.bswap64(s5, s5);
+  a.st(s3, s5, 24, 8);
+  if (tmpl.preswap_static_fields) {
+    a.movi(s4, static_cast<std::int64_t>(
+                   static_cast<std::uint64_t>(host_to_be32(tmpl.rkey))
+                   << 32));
+  } else {
+    a.ld(s4, qpc, kQpcWrScratch + 56, 8);
+    a.bswap32(s4, s4);
+    a.shli(s4, s4, 32);
+  }
+  // Data segment loop: one iteration per SGE (laddr/lkey pairs).
+  {
+    const std::string sge = a.fresh_label("sge_loop");
+    const Reg remaining = s1;
+    a.ld(remaining, qpc, kQpcWrScratch + 72, 8);
+    a.bind(sge);
+    a.ld(s5, qpc, kQpcWrScratch + 32, 8);  // laddr
+    a.bswap64(s5, s5);
+    a.st(s3, s5, 8, 8);
+    if (tmpl.preswap_static_fields) {
+      a.movi(s5, static_cast<std::int64_t>(host_to_be32(tmpl.lkey)));
+    } else {
+      a.ld(s5, qpc, kQpcWrScratch + 40, 8);  // lkey
+      a.bswap32(s5, s5);
+    }
+    a.or_(s5, s5, s4);                     // lkey | rkey<<32
+    a.st(s3, s5, 16, 8);
+    a.addi(remaining, remaining, -1);
+    a.setpi(Cmp::kNe, s5, remaining, 0);
+    a.bra_if(s5, sge);
+  }
+  // wr_id (host order; never leaves the node).
+  a.ld(s5, qpc, kQpcWrScratch + 0, 8);
+  a.st(s3, s5, 32, 8);
+  // imm(BE32) | producer index << 32.
+  if (tmpl.preswap_static_fields) {
+    a.movi(s5, static_cast<std::int64_t>(host_to_be32(tmpl.imm)));
+  } else {
+    a.ld(s5, qpc, kQpcWrScratch + 64, 8);
+    a.bswap32(s5, s5);
+  }
+  a.andi(s4, s2, 0xFFFFFFFFll);
+  a.shli(s4, s4, 32);
+  a.or_(s5, s5, s4);
+  a.st(s3, s5, 40, 8);
+  // Validity stamp; trailing pad.
+  a.movi(s5, static_cast<std::int64_t>(ib::kWqeStampValid));
+  a.st(s3, s5, 48, 8);
+  a.movi(s5, 0);
+  a.st(s3, s5, 56, 8);
+
+  // --- 7. Publish: fence, update the doorbell record (the in-memory
+  // copy the HCA may read), bump the producer index, ring the UAR
+  // doorbell (MMIO).
+  a.membar_sys();
+  a.addi(s2, s2, 1);
+  a.st(qpc, s2, kQpcSqPi, 8);
+  a.st(qpc, s2, kQpcWrScratch + 80, 8);  // doorbell record
+  a.membar_sys();
+  a.ld(s4, qpc, kQpcSqDoorbell, 8);
+  a.st(s4, s2, 0, 4);
+}
+
+void emit_ib_poll_cq(Assembler& a, Reg qpc, Reg status_out, Reg s0, Reg s1,
+                     Reg s2, Reg s3, Reg s4, Reg s5) {
+  // --- Load CQ state.
+  a.ld(s0, qpc, kQpcCqBuffer, 8);
+  a.ld(s1, qpc, kQpcCqMask, 8);
+  a.ld(s2, qpc, kQpcCqCi, 8);
+  // slot = buffer + (ci & mask) * 32
+  a.and_(s3, s2, s1);
+  a.shli(s3, s3, 5);
+  a.add(s3, s3, s0);
+  // --- Spin on the valid marker.
+  const std::string poll = a.fresh_label("cq_poll");
+  a.bind(poll);
+  a.ld(s4, s3, ib::kCqeValidOffset, 8);
+  a.setpi(Cmp::kEq, s5, s4, 0);
+  a.bra_if(s5, poll);
+  // --- Read the CQE fields.
+  a.ld(s4, s3, 0, 8);    // wr_id
+  a.ld(s5, s3, 8, 8);    // qpn | byte_len
+  a.ld(status_out, s3, 16, 8);  // opcode/status/flags word
+  // --- Associate the CQE with its QP: linear search of the QP table
+  // (the overhead the paper attributes to "the associated QP has to be
+  // picked out of the list of QPs").
+  a.andi(s5, s5, 0xFFFFFFFFll);  // qpn
+  a.ld(s4, qpc, kQpcQpTable, 8);
+  a.ld(s0, qpc, kQpcQpTableLen, 8);
+  {
+    const std::string scan = a.fresh_label("qp_scan");
+    const std::string found = a.fresh_label("qp_found");
+    const Reg idx = s1;  // mask no longer needed in s1
+    a.movi(idx, 0);
+    a.bind(scan);
+    // entry = [table + idx*8]
+    a.shli(status_out, idx, 3);        // reuse as address scratch
+    a.add(status_out, status_out, s4);
+    a.ld(status_out, status_out, 0, 8);
+    a.setp(Cmp::kEq, status_out, status_out, s5);
+    a.bra_if(status_out, found);
+    a.addi(idx, idx, 1);
+    a.setp(Cmp::kLtU, status_out, idx, s0);
+    a.bra_if(status_out, scan);
+    a.bind(found);
+  }
+  // --- Re-read the status word (clobbered by the scan), invalidate the
+  // slot, publish the consumer index.
+  a.ld(status_out, s3, 16, 8);
+  a.shri(status_out, status_out, 8);
+  a.andi(status_out, status_out, 0xFF);  // WcStatus
+  a.movi(s4, 0);
+  a.st(s3, s4, ib::kCqeValidOffset, 8);
+  a.st(s3, s4, 0, 8);  // stamp wr_id clear
+  // Reload ci (s2 may be stale if the caller reuses registers), bump and
+  // publish both the in-memory copy and the HCA-visible cell.
+  a.ld(s2, qpc, kQpcCqCi, 8);
+  a.addi(s2, s2, 1);
+  a.st(qpc, s2, kQpcCqCi, 8);
+  a.ld(s4, qpc, kQpcCqCiCell, 8);
+  a.st(s4, s2, 0, 4);
+}
+
+// ---------------------------------------------------------------------------
+// EXTOLL kernels.
+
+Program build_extoll_pingpong_kernel(const ExtollPingPongConfig& cfg) {
+  Assembler a(cfg.initiator ? "extoll_pingpong_initiator"
+                            : "extoll_pingpong_responder");
+  const Reg iter(8), bar(9), src(10), dst(11);
+  const Reg req_base(12), req_idx(13), req_rp(14);
+  const Reg cmp_base(15), cmp_idx(16), cmp_rp(17);
+  const Reg stats(18), send_tag(19), recv_tag(20);
+  const Reg t0(21), t1(22), post_sum(23), poll_sum(24);
+  const Reg s0(25), s1(26), s2(27), tag(28), tmp(29);
+
+  a.movi(iter, 0);
+  a.movi(bar, static_cast<std::int64_t>(cfg.bar_page));
+  a.movi(src, static_cast<std::int64_t>(cfg.src_nla));
+  a.movi(dst, static_cast<std::int64_t>(cfg.dst_nla));
+  a.movi(req_base, static_cast<std::int64_t>(cfg.req_queue_base));
+  a.movi(req_idx, 0);
+  a.movi(req_rp, static_cast<std::int64_t>(cfg.req_rp_cell));
+  a.movi(cmp_base, static_cast<std::int64_t>(cfg.cmp_queue_base));
+  a.movi(cmp_idx, 0);
+  a.movi(cmp_rp, static_cast<std::int64_t>(cfg.cmp_rp_cell));
+  a.movi(stats, static_cast<std::int64_t>(cfg.stats_addr));
+  a.movi(send_tag, static_cast<std::int64_t>(cfg.send_tag_addr));
+  a.movi(recv_tag, static_cast<std::int64_t>(cfg.recv_tag_addr));
+  a.movi(post_sum, 0);
+  a.movi(poll_sum, 0);
+
+  const DeviceNotifQueue req_q{req_base, req_idx, req_rp,
+                               cfg.queue_entry_mask};
+  const DeviceNotifQueue cmp_q{cmp_base, cmp_idx, cmp_rp,
+                               cfg.queue_entry_mask};
+  const bool direct = cfg.mode == TransferMode::kGpuDirect;
+
+  a.sreg(t0, Sreg::kClock);
+  a.st(stats, t0, kStatTStart, 8);
+
+  // Timing split, as in Fig 3: "posting" is the pure WR generation (the
+  // three BAR stores), "polling" is everything else in the iteration -
+  // waiting for notifications or for the payload tag.
+  const Reg iter_start(30), post_time(31);
+  const std::string loop = a.fresh_label("iter_loop");
+  a.bind(loop);
+  a.sreg(iter_start, Sreg::kClock);
+  a.addi(tag, iter, 1);
+
+  auto send_side = [&] {
+    if (!direct) {
+      // Tag the outgoing payload's last element so the peer can poll it.
+      a.st(send_tag, tag, 0, cfg.tag_width);
+    }
+    a.sreg(t0, Sreg::kClock);
+    emit_extoll_post_put(a, bar, src, dst, cfg.wr, s0);
+    a.sreg(t1, Sreg::kClock);
+    a.sub(post_time, t1, t0);
+    a.add(post_sum, post_sum, post_time);
+    if (direct) {
+      // The requester notification (transfer started) gates the next
+      // post; its wait counts as polling time.
+      emit_extoll_poll_consume_notification(a, req_q, s0, s1, s2);
+    }
+  };
+  auto recv_side = [&] {
+    if (direct) {
+      emit_extoll_poll_consume_notification(a, cmp_q, s0, s1, s2);
+    } else {
+      emit_poll_equals(a, recv_tag, tag, cfg.tag_width, s0, s1);
+    }
+  };
+
+  if (cfg.initiator) {
+    send_side();
+    recv_side();
+  } else {
+    recv_side();
+    send_side();
+  }
+
+  // poll_sum += (iteration span) - (posting time).
+  a.sreg(tmp, Sreg::kClock);
+  a.sub(tmp, tmp, iter_start);
+  a.sub(tmp, tmp, post_time);
+  a.add(poll_sum, poll_sum, tmp);
+
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.iterations);
+  a.bra_if(s0, loop);
+
+  a.sreg(t1, Sreg::kClock);
+  a.st(stats, t1, kStatTEnd, 8);
+  a.st(stats, post_sum, kStatPostSum, 8);
+  a.st(stats, poll_sum, kStatPollSum, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+Program build_extoll_stream_kernel(const ExtollStreamConfig& cfg) {
+  Assembler a("extoll_stream_sender");
+  const Reg iter(8), bar(9), src(10), dst(11);
+  const Reg req_base(12), req_idx(13), req_rp(14), stats(15);
+  const Reg row(16), t(17), s0(25), s1(26), s2(27);
+
+  // row = param_table (kernel parameter r4) + ctaid * 48
+  a.sreg(row, Sreg::kCtaidX);
+  a.muli(row, row, 48);
+  a.add(row, row, Reg(4));
+  a.ld(bar, row, 0, 8);
+  a.ld(src, row, 8, 8);
+  a.ld(dst, row, 16, 8);
+  a.ld(req_base, row, 24, 8);
+  a.ld(req_rp, row, 32, 8);
+  a.ld(stats, row, 40, 8);
+  a.movi(iter, 0);
+  // Resume the notification consume index from the published read
+  // pointer: kernels are relaunched per round (Fig 2) and must continue
+  // where the previous launch stopped.
+  a.ld(req_idx, req_rp, 0, 4);
+
+  const DeviceNotifQueue req_q{req_base, req_idx, req_rp,
+                               cfg.queue_entry_mask};
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTStart, 8);
+
+  const std::string loop = a.fresh_label("msg_loop");
+  a.bind(loop);
+  emit_extoll_post_put(a, bar, src, dst, cfg.wr, s0);
+  // One WR per port may be in flight: wait for the requester
+  // notification before reposting.
+  emit_extoll_poll_consume_notification(a, req_q, s0, s1, s2);
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.messages);
+  a.bra_if(s0, loop);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTEnd, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+Program build_extoll_drain_kernel(const ExtollDrainConfig& cfg) {
+  Assembler a("extoll_drain_receiver");
+  const Reg iter(8), cmp_base(9), cmp_idx(10), cmp_rp(11), stats(12);
+  const Reg t(13), s0(25), s1(26), s2(27);
+  a.movi(iter, 0);
+  a.movi(cmp_base, static_cast<std::int64_t>(cfg.cmp_queue_base));
+  a.movi(cmp_idx, 0);
+  a.movi(cmp_rp, static_cast<std::int64_t>(cfg.cmp_rp_cell));
+  a.movi(stats, static_cast<std::int64_t>(cfg.stats_addr));
+  const DeviceNotifQueue cmp_q{cmp_base, cmp_idx, cmp_rp,
+                               cfg.queue_entry_mask};
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTStart, 8);
+  const std::string loop = a.fresh_label("drain_loop");
+  a.bind(loop);
+  emit_extoll_poll_consume_notification(a, cmp_q, s0, s1, s2);
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.notifications);
+  a.bra_if(s0, loop);
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTEnd, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+// ---------------------------------------------------------------------------
+// InfiniBand kernels.
+
+Program build_ib_pingpong_kernel(const IbPingPongConfig& cfg) {
+  Assembler a(cfg.initiator ? "ib_pingpong_initiator"
+                            : "ib_pingpong_responder");
+  const Reg iter(8), qpc(9), laddr(10), raddr(11), wr_id(12);
+  const Reg send_tag(13), recv_tag(14), stats(15), tag(16), status(17);
+  const Reg t0(18), t1(19), post_sum(20), poll_sum(21), tmp(22);
+  const Reg s0(23), s1(24), s2(25), s3(26), s4(27), s5(28);
+
+  a.movi(iter, 0);
+  a.movi(qpc, static_cast<std::int64_t>(cfg.qp_context));
+  a.movi(laddr, static_cast<std::int64_t>(cfg.laddr));
+  a.movi(raddr, static_cast<std::int64_t>(cfg.raddr));
+  a.movi(send_tag, static_cast<std::int64_t>(cfg.send_tag_addr));
+  a.movi(recv_tag, static_cast<std::int64_t>(cfg.recv_tag_addr));
+  a.movi(stats, static_cast<std::int64_t>(cfg.stats_addr));
+  a.movi(post_sum, 0);
+  a.movi(poll_sum, 0);
+
+  a.sreg(t0, Sreg::kClock);
+  a.st(stats, t0, kStatTStart, 8);
+
+  const IbPostSendRegs post_regs{qpc, laddr, raddr, wr_id};
+  const std::string loop = a.fresh_label("iter_loop");
+  a.bind(loop);
+  a.addi(tag, iter, 1);
+
+  auto send_side = [&] {
+    // Tag the outgoing payload so the peer can poll on its last element
+    // (in-order delivery makes this safe, as the paper argues).
+    a.st(send_tag, tag, 0, cfg.tag_width);
+    a.mov(wr_id, iter);
+    a.sreg(t0, Sreg::kClock);
+    emit_ib_post_send(a, post_regs, cfg.wqe, s0, s1, s2, s3, s4, s5);
+    a.sreg(t1, Sreg::kClock);
+    a.sub(tmp, t1, t0);
+    a.add(post_sum, post_sum, tmp);
+  };
+  auto recv_side = [&] {
+    a.sreg(t1, Sreg::kClock);
+    emit_poll_equals(a, recv_tag, tag, cfg.tag_width, s0, s1);
+    a.sreg(tmp, Sreg::kClock);
+    a.sub(tmp, tmp, t1);
+    a.add(poll_sum, poll_sum, tmp);
+  };
+
+  if (cfg.initiator) {
+    send_side();
+    recv_side();
+    // Retire the local completion (arrived with the remote ACK while we
+    // waited for the pong).
+    emit_ib_poll_cq(a, qpc, status, s0, s1, s2, s3, s4, s5);
+  } else {
+    recv_side();
+    send_side();
+    emit_ib_poll_cq(a, qpc, status, s0, s1, s2, s3, s4, s5);
+  }
+
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.iterations);
+  a.bra_if(s0, loop);
+
+  a.sreg(t1, Sreg::kClock);
+  a.st(stats, t1, kStatTEnd, 8);
+  a.st(stats, post_sum, kStatPostSum, 8);
+  a.st(stats, poll_sum, kStatPollSum, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+Program build_ib_stream_kernel(const IbStreamConfig& cfg) {
+  Assembler a("ib_stream_sender");
+  const Reg sent(8), outstanding(9), qpc(10), laddr(11), raddr(12);
+  const Reg wr_id(13), stats(14), row(15), status(16), t(17);
+  const Reg s0(23), s1(24), s2(25), s3(26), s4(27), s5(28);
+
+  a.sreg(row, Sreg::kCtaidX);
+  a.muli(row, row, 32);
+  a.add(row, row, Reg(4));
+  a.ld(qpc, row, 0, 8);
+  a.ld(laddr, row, 8, 8);
+  a.ld(raddr, row, 16, 8);
+  a.ld(stats, row, 24, 8);
+  a.movi(sent, 0);
+  a.movi(outstanding, 0);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTStart, 8);
+
+  const IbPostSendRegs post_regs{qpc, laddr, raddr, wr_id};
+  const std::string loop = a.fresh_label("msg_loop");
+  const std::string no_wait = a.fresh_label("no_wait");
+  a.bind(loop);
+  // Respect the completion window: retire one completion when full.
+  a.setpi(Cmp::kLtU, s0, outstanding, cfg.window);
+  a.bra_if(s0, no_wait);
+  emit_ib_poll_cq(a, qpc, status, s0, s1, s2, s3, s4, s5);
+  a.addi(outstanding, outstanding, -1);
+  a.bind(no_wait);
+  a.mov(wr_id, sent);
+  emit_ib_post_send(a, post_regs, cfg.wqe, s0, s1, s2, s3, s4, s5);
+  a.addi(outstanding, outstanding, 1);
+  a.addi(sent, sent, 1);
+  a.setpi(Cmp::kLtU, s0, sent, cfg.messages);
+  a.bra_if(s0, loop);
+  // Drain remaining completions.
+  const std::string drain = a.fresh_label("drain");
+  const std::string done = a.fresh_label("done");
+  a.bind(drain);
+  a.setpi(Cmp::kEq, s0, outstanding, 0);
+  a.bra_if(s0, done);
+  emit_ib_poll_cq(a, qpc, status, s0, s1, s2, s3, s4, s5);
+  a.addi(outstanding, outstanding, -1);
+  a.bra(drain);
+  a.bind(done);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTEnd, 8);
+  a.st(stats, sent, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+// ---------------------------------------------------------------------------
+// Host-assisted kernel.
+
+Program build_assisted_loop_kernel(const AssistedLoopConfig& cfg) {
+  Assembler a("assisted_loop");
+  const Reg iter(8), go_flag(9), ack_flag(10), stats(11), tag(12), t(13);
+  const Reg s0(25), s1(26);
+  a.sreg(s0, Sreg::kCtaidX);
+  a.muli(s0, s0, 24);
+  a.add(s0, s0, Reg(4));
+  a.ld(go_flag, s0, 0, 8);
+  a.ld(ack_flag, s0, 8, 8);
+  a.ld(stats, s0, 16, 8);
+  a.movi(iter, 0);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTStart, 8);
+  const std::string loop = a.fresh_label("assist_loop");
+  a.bind(loop);
+  a.addi(tag, iter, 1);
+  // Raise the request flag in host memory (posted PCIe write), then wait
+  // for the CPU's acknowledgement flag in device memory.
+  a.membar_sys();
+  a.st(go_flag, tag, 0, 8);
+  emit_poll_equals(a, ack_flag, tag, 8, s0, s1);
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.iterations);
+  a.bra_if(s0, loop);
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTEnd, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+}  // namespace pg::putget

@@ -1,0 +1,238 @@
+// The GPU-resident put/get library: the paper's ported API calls as
+// PTX-lite routines.
+//
+// Everything here is emitted through the assembler so that instruction
+// and memory-transaction counts (Tables I and II, the 442-instruction
+// ibv_post_send measurement) fall out of real instruction streams.
+//
+// Layout of auxiliary device structures:
+//
+//  * Stats block (device memory, written by kernels, read by the host
+//    after completion):
+//      +0  t_start_ns   first-iteration timestamp
+//      +8  t_end_ns     last-iteration timestamp
+//      +16 post_sum_ns  total time spent generating/posting WRs
+//      +24 poll_sum_ns  total time spent polling for completion
+//      +32 iterations   completed loop count
+//
+//  * IB QP device context (device memory, set up by the host before
+//    launch; the GPU-side verbs functions keep QP state in memory like
+//    the real port of libibverbs does):
+//      +0  sq_buffer        +8  sq_entry_mask (entries-1, pow2)
+//      +16 sq_pi            +24 sq_doorbell (UAR address)
+//      +32 cq_buffer        +40 cq_entry_mask
+//      +48 cq_ci            +56 cq_ci_cell (consumer-index cell)
+//      +64 qp_table         +72 qp_table_len
+//      +80 qpn              +96 ibv_send_wr marshalling scratch
+//    The qp_table is a device-memory array of u64 qpns that poll_cq
+//    searches to associate a CQE with its QP - the bookkeeping overhead
+//    the paper calls out.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/assembler.h"
+#include "gpu/program.h"
+#include "nic/extoll/rma_types.h"
+#include "nic/ib/wqe.h"
+#include "putget/modes.h"
+
+namespace pg::putget {
+
+// Stats block field offsets.
+constexpr std::int64_t kStatTStart = 0;
+constexpr std::int64_t kStatTEnd = 8;
+constexpr std::int64_t kStatPostSum = 16;
+constexpr std::int64_t kStatPollSum = 24;
+constexpr std::int64_t kStatIterations = 32;
+constexpr std::uint64_t kStatsBytes = 64;
+
+// QP device-context field offsets.
+constexpr std::int64_t kQpcSqBuffer = 0;
+constexpr std::int64_t kQpcSqMask = 8;
+constexpr std::int64_t kQpcSqPi = 16;
+constexpr std::int64_t kQpcSqDoorbell = 24;
+constexpr std::int64_t kQpcCqBuffer = 32;
+constexpr std::int64_t kQpcCqMask = 40;
+constexpr std::int64_t kQpcCqCi = 48;
+constexpr std::int64_t kQpcCqCiCell = 56;
+constexpr std::int64_t kQpcQpTable = 64;
+constexpr std::int64_t kQpcQpTableLen = 72;
+constexpr std::int64_t kQpcQpn = 80;
+/// Scratch region where the caller marshals the ibv_send_wr structure
+/// that post_send consumes (the verbs API passes work requests by
+/// pointer, so the fields round-trip through memory).
+constexpr std::int64_t kQpcWrScratch = 96;
+constexpr std::uint64_t kQpContextBytes = 192;
+
+// ---------------------------------------------------------------------------
+// EXTOLL device routines.
+
+/// Compile-time WR fields for a device-posted put.
+struct ExtollWrTemplate {
+  std::uint8_t port = 0;
+  std::uint32_t size = 0;
+  bool notify_requester = false;
+  bool notify_completer = false;
+};
+
+/// Emits a put post: composes the 192-bit WR and writes its three words
+/// to the BAR page. `bar` holds the requester-page address, `src`/`dst`
+/// the NLAs. Clobbers `s0`.
+void emit_extoll_post_put(gpu::Assembler& a, gpu::Reg bar, gpu::Reg src,
+                          gpu::Reg dst, const ExtollWrTemplate& wr,
+                          gpu::Reg s0);
+
+/// Register state for one notification-queue consumer on the GPU.
+struct DeviceNotifQueue {
+  gpu::Reg slot_base;   // queue slot array base (system memory)
+  gpu::Reg index;       // running consume index (register-resident)
+  gpu::Reg rp_cell;     // read-pointer cell address
+  std::uint32_t entry_mask = 0;  // entries - 1 (entries is a power of 2)
+};
+
+/// Emits: spin until the current slot's word0 has the valid bit, then
+/// consume it (read word1, zero both words, bump the read pointer).
+/// Every probe is a system-memory load - the cost Table I exposes.
+/// Clobbers s0..s2.
+void emit_extoll_poll_consume_notification(gpu::Assembler& a,
+                                           const DeviceNotifQueue& q,
+                                           gpu::Reg s0, gpu::Reg s1,
+                                           gpu::Reg s2);
+
+/// Emits: spin until [addr] == expected (width 4 or 8). Device-memory
+/// polling - hits in L2 until a DMA write invalidates the line.
+void emit_poll_equals(gpu::Assembler& a, gpu::Reg addr, gpu::Reg expected,
+                      unsigned width, gpu::Reg s0, gpu::Reg s1);
+
+// ---------------------------------------------------------------------------
+// InfiniBand device routines (the GPU port of the verbs calls).
+
+/// Dynamic WQE fields living in registers at the call site.
+struct IbPostSendRegs {
+  gpu::Reg qpc;    // QP device-context base address
+  gpu::Reg laddr;  // local source address
+  gpu::Reg raddr;  // remote destination address
+  gpu::Reg wr_id;
+};
+
+/// Compile-time WQE fields.
+struct IbPostSendTemplate {
+  ib::WqeOpcode opcode = ib::WqeOpcode::kRdmaWrite;
+  bool signaled = true;
+  std::uint32_t byte_len = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm = 0;
+  /// Optimization from the paper ("we used static converted values where
+  /// possible"): big-endian-convert the compile-time-constant fields
+  /// (byte_len, lkey, rkey, imm) at assembly time instead of per post.
+  /// Only the per-message addresses are swapped at run time. Ablated in
+  /// bench/ablation_wqe_swap.
+  bool preswap_static_fields = false;
+};
+
+/// Emits the device-side ibv_post_send: loads the QP context, checks for
+/// ring space, stamps the previous entry, builds the 64-byte WQE with
+/// big-endian conversions, publishes it, updates the producer index, and
+/// rings the doorbell. Several hundred instructions for one thread -
+/// which is the paper's point. Clobbers s0..s5.
+void emit_ib_post_send(gpu::Assembler& a, const IbPostSendRegs& regs,
+                       const IbPostSendTemplate& tmpl, gpu::Reg s0,
+                       gpu::Reg s1, gpu::Reg s2, gpu::Reg s3, gpu::Reg s4,
+                       gpu::Reg s5);
+
+/// Emits the device-side ibv_poll_cq: spins on the current CQE's valid
+/// word, then consumes it - loads the fields, searches the QP table for
+/// the owning QP, invalidates the slot, advances and publishes the
+/// consumer index. Leaves the CQE status in `status_out`.
+/// Clobbers s0..s5.
+void emit_ib_poll_cq(gpu::Assembler& a, gpu::Reg qpc, gpu::Reg status_out,
+                     gpu::Reg s0, gpu::Reg s1, gpu::Reg s2, gpu::Reg s3,
+                     gpu::Reg s4, gpu::Reg s5);
+
+// ---------------------------------------------------------------------------
+// Complete kernels for the paper's experiments.
+
+/// EXTOLL ping-pong kernel (one side). TransferMode selects completion
+/// detection: kGpuDirect polls/consumes notifications in system memory,
+/// kGpuPollDevice polls the last payload element in device memory.
+struct ExtollPingPongConfig {
+  bool initiator = true;
+  TransferMode mode = TransferMode::kGpuDirect;
+  std::uint32_t iterations = 100;
+  ExtollWrTemplate wr;
+  std::uint64_t bar_page = 0;
+  std::uint64_t src_nla = 0;
+  std::uint64_t dst_nla = 0;
+  std::uint64_t req_queue_base = 0, req_rp_cell = 0;
+  std::uint64_t cmp_queue_base = 0, cmp_rp_cell = 0;
+  std::uint32_t queue_entry_mask = 0;
+  std::uint64_t send_tag_addr = 0;  // last element of my outgoing payload
+  std::uint64_t recv_tag_addr = 0;  // last element of my incoming payload
+  unsigned tag_width = 8;           // min(size, 8)
+  std::uint64_t stats_addr = 0;
+};
+gpu::Program build_extoll_pingpong_kernel(const ExtollPingPongConfig& cfg);
+
+/// EXTOLL streaming sender: posts `messages` puts back to back, waiting
+/// for the requester notification between posts (the one-WR-per-port
+/// protocol). Per-block: each block drives the port/buffers at index
+/// ctaid via the parameter tables below.
+struct ExtollStreamConfig {
+  std::uint32_t messages = 100;
+  ExtollWrTemplate wr;
+  // Kernel parameter 0 is the base of a device-memory parameter table
+  // with one row of 6 u64 per block:
+  //   [bar_page, src_nla, dst_nla, req_queue_base, req_rp_cell, stats]
+  std::uint32_t queue_entry_mask = 0;
+};
+gpu::Program build_extoll_stream_kernel(const ExtollStreamConfig& cfg);
+
+/// EXTOLL streaming receiver: consumes messages*blocks completer
+/// notifications (single thread; used for the bandwidth experiment).
+struct ExtollDrainConfig {
+  std::uint32_t notifications = 100;
+  std::uint64_t cmp_queue_base = 0, cmp_rp_cell = 0;
+  std::uint32_t queue_entry_mask = 0;
+  std::uint64_t stats_addr = 0;
+};
+gpu::Program build_extoll_drain_kernel(const ExtollDrainConfig& cfg);
+
+/// IB ping-pong kernel (one side): post_send for the ping, poll_cq for
+/// the local completion, poll the last payload element for the pong.
+struct IbPingPongConfig {
+  bool initiator = true;
+  std::uint32_t iterations = 100;
+  IbPostSendTemplate wqe;
+  std::uint64_t qp_context = 0;  // device-memory QP context
+  std::uint64_t laddr = 0;       // my outgoing payload
+  std::uint64_t raddr = 0;       // remote landing address
+  std::uint64_t send_tag_addr = 0;
+  std::uint64_t recv_tag_addr = 0;
+  unsigned tag_width = 8;
+  std::uint64_t stats_addr = 0;
+};
+gpu::Program build_ib_pingpong_kernel(const IbPingPongConfig& cfg);
+
+/// IB streaming sender: windowed post_send/poll_cq pipeline per block.
+/// Kernel parameter 0 is a device-memory parameter table with rows of
+/// 4 u64 per block: [qp_context, laddr, raddr, stats].
+struct IbStreamConfig {
+  std::uint32_t messages = 100;
+  std::uint32_t window = 16;  // max outstanding (signaled) sends
+  IbPostSendTemplate wqe;
+};
+gpu::Program build_ib_stream_kernel(const IbStreamConfig& cfg);
+
+/// Assisted-mode kernel: raises a request flag in host memory and waits
+/// for the CPU's acknowledgement flag in device memory, per iteration.
+/// One block per connection; kernel parameter 0 is a device-memory
+/// parameter table with rows of 3 u64:
+///   [go_flag_addr(host), ack_flag_addr(device), stats]
+struct AssistedLoopConfig {
+  std::uint32_t iterations = 100;
+};
+gpu::Program build_assisted_loop_kernel(const AssistedLoopConfig& cfg);
+
+}  // namespace pg::putget

@@ -1,0 +1,59 @@
+// The paper's EXTOLL experiments (Figs. 1-3, Table I), runnable for any
+// transfer mode. Each run builds a fresh two-node cluster from the given
+// configuration, wires up buffers/registrations, executes the protocol,
+// verifies payload integrity, and returns the measurements.
+#pragma once
+
+#include "gpu/counters.h"
+#include "putget/modes.h"
+#include "sys/cluster.h"
+
+namespace pg::putget {
+
+struct PingPongResult {
+  double half_rtt_us = 0;       // reported latency (RTT/2)
+  double post_sum_us = 0;       // initiator: time generating/posting WRs
+  double poll_sum_us = 0;       // initiator: time polling for completion
+  std::uint32_t iterations = 0;
+  bool payload_ok = false;
+  gpu::PerfCounters gpu0;       // initiator-GPU counter delta (Table I)
+};
+
+struct BandwidthResult {
+  double mb_per_s = 0;
+  std::uint64_t bytes = 0;
+  bool payload_ok = false;
+};
+
+struct MessageRateResult {
+  double msgs_per_s = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Concurrency/control variants for the message-rate experiment (Fig 2).
+enum class RateVariant {
+  kBlocks,          // dev2dev-blocks
+  kKernels,         // dev2dev-kernels
+  kAssisted,        // dev2dev-assisted
+  kHostControlled,  // dev2dev-hostControlled
+};
+const char* rate_variant_name(RateVariant v);
+
+/// Ping-pong latency (Fig 1a / Table I / Fig 3).
+PingPongResult run_extoll_pingpong(const sys::ClusterConfig& cfg,
+                                   TransferMode mode, std::uint32_t size,
+                                   std::uint32_t iterations);
+
+/// Streaming bandwidth (Fig 1b). `messages` puts of `size` bytes from
+/// node0's GPU memory to node1's.
+BandwidthResult run_extoll_bandwidth(const sys::ClusterConfig& cfg,
+                                     TransferMode mode, std::uint32_t size,
+                                     std::uint32_t messages);
+
+/// Sustained message rate for 64-byte puts over `pairs` connections
+/// (Fig 2).
+MessageRateResult run_extoll_msgrate(const sys::ClusterConfig& cfg,
+                                     RateVariant variant, std::uint32_t pairs,
+                                     std::uint32_t msgs_per_pair);
+
+}  // namespace pg::putget

@@ -1,0 +1,42 @@
+#include "putget/extoll_host.h"
+
+namespace pg::putget {
+
+Result<ExtollHostPort> ExtollHostPort::open(extoll::ExtollNic& nic,
+                                            std::uint32_t port) {
+  auto info = nic.open_port(port);
+  if (!info.is_ok()) return info.status();
+  return ExtollHostPort(*info);
+}
+
+sim::SimTask ExtollHostPort::post(host::HostCpu& cpu,
+                                  const extoll::WorkRequest& wr,
+                                  sim::Trigger* posted) {
+  co_await cpu.build_descriptor();
+  const mem::Addr page = info_.requester_page;
+  co_await cpu.mmio_write_u64(page + extoll::kWrWord0Offset,
+                              wr.encode_word0());
+  co_await cpu.mmio_write_u64(page + extoll::kWrWord1Offset, wr.src_nla);
+  co_await cpu.mmio_write_u64(page + extoll::kWrWord2Offset, wr.dst_nla);
+  if (posted) posted->fire();
+}
+
+sim::SimTask ExtollHostPort::wait_requester(host::HostCpu& cpu,
+                                            sim::Trigger* done) {
+  co_await cpu.poll_until(
+      [this, &cpu] { return req_reader_.pending(cpu); });
+  co_await cpu.touch_dram();
+  (void)req_reader_.consume(cpu);
+  if (done) done->fire();
+}
+
+sim::SimTask ExtollHostPort::wait_completer(host::HostCpu& cpu,
+                                            sim::Trigger* done) {
+  co_await cpu.poll_until(
+      [this, &cpu] { return cmp_reader_.pending(cpu); });
+  co_await cpu.touch_dram();
+  (void)cmp_reader_.consume(cpu);
+  if (done) done->fire();
+}
+
+}  // namespace pg::putget

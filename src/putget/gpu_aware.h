@@ -1,0 +1,61 @@
+// Prototype of the GPU-aware put/get interface the paper's conclusion
+// argues for (Sec. VI): an API whose posting path matches the
+// thread-collaborative execution model and whose completion structures
+// live in GPU memory.
+//
+// Two of the paper's three claims are implemented and benchmarked
+// (bench/extension_future_api):
+//
+//  * Claim 2 - "the interface of the API has to be in-line with the
+//    thread-collaborative execution model": emit_ib_post_send_warp builds
+//    the 64-byte WQE with EIGHT cooperating lanes. Each lane computes one
+//    WQE word branch-free (predicate arithmetic) and a single coalesced
+//    warp store publishes the whole descriptor - tens of warp
+//    instructions instead of the hundreds a lone thread burns in the
+//    ported single-threaded verbs call.
+//
+//  * Claim 3 - "PCIe transfers for control have to be kept at a minimum
+//    ... notification queues in GPU memory": run_extoll_pingpong_gpu_notifications
+//    relocates the EXTOLL notification queues into device memory (via the
+//    modelled ExtollNic::relocate_notification_queues interface), so the
+//    GPU's notification polling becomes L2 traffic while the NIC's DMA
+//    updates invalidate lines on arrival.
+//
+// (Claim 1 - minimal footprint - follows from claim 3's measurement: the
+// per-port queue footprint is the only device-memory cost.)
+#pragma once
+
+#include "putget/device_lib.h"
+#include "putget/extoll_experiments.h"  // PingPongResult
+#include "sys/cluster.h"
+
+namespace pg::putget {
+
+/// Emits a warp-collaborative ibv_post_send. Must run on a warp with
+/// exactly 8 active lanes (one per WQE word). Dynamic fields live in the
+/// same registers on every lane. Only the producer-index update and the
+/// doorbell ring diverge (lane 0). Clobbers s0..s5.
+void emit_ib_post_send_warp(gpu::Assembler& a, const IbPostSendRegs& regs,
+                            const IbPostSendTemplate& tmpl, gpu::Reg s0,
+                            gpu::Reg s1, gpu::Reg s2, gpu::Reg s3,
+                            gpu::Reg s4, gpu::Reg s5);
+
+/// An IB ping-pong kernel whose posting path is warp-collaborative
+/// (8 threads per block). Completion detection is a device-memory
+/// payload poll; the local CQE is retired by lane 0.
+gpu::Program build_ib_pingpong_warp_kernel(const IbPingPongConfig& cfg);
+
+/// Fig-4a-style ping-pong latency with the warp-collaborative posting
+/// path (queues in GPU memory).
+PingPongResult run_ib_pingpong_warp(const sys::ClusterConfig& cfg,
+                                    std::uint32_t size,
+                                    std::uint32_t iterations);
+
+/// Fig-1a-style EXTOLL GPU-direct ping-pong, but with the notification
+/// queues relocated into GPU memory (the claim-3 interface). Notification
+/// polling becomes device-local.
+PingPongResult run_extoll_pingpong_gpu_notifications(
+    const sys::ClusterConfig& cfg, std::uint32_t size,
+    std::uint32_t iterations);
+
+}  // namespace pg::putget

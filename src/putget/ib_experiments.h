@@ -1,0 +1,40 @@
+// The paper's InfiniBand experiments (Figs. 4-5, Table II, and the
+// Sec. V-B.3 instruction-count micro-measurements).
+#pragma once
+
+#include "gpu/counters.h"
+#include "putget/extoll_experiments.h"  // PingPongResult etc.
+#include "putget/modes.h"
+#include "sys/cluster.h"
+
+namespace pg::putget {
+
+/// Ping-pong latency (Fig 4a / Table II). GPU-driven modes take the
+/// queue location (the paper's bufOnGPU / bufOnHost variants); assisted
+/// and host-controlled ignore it.
+PingPongResult run_ib_pingpong(const sys::ClusterConfig& cfg,
+                               TransferMode mode, QueueLocation location,
+                               std::uint32_t size, std::uint32_t iterations);
+
+/// Streaming bandwidth (Fig 4b).
+BandwidthResult run_ib_bandwidth(const sys::ClusterConfig& cfg,
+                                 TransferMode mode, QueueLocation location,
+                                 std::uint32_t size, std::uint32_t messages);
+
+/// Sustained 64-byte message rate over `pairs` QP connections (Fig 5).
+MessageRateResult run_ib_msgrate(const sys::ClusterConfig& cfg,
+                                 RateVariant variant, std::uint32_t pairs,
+                                 std::uint32_t msgs_per_pair);
+
+/// Sec. V-B.3: instructions retired by a single device-side
+/// ibv_post_send and a single successful ibv_poll_cq.
+struct VerbsInstructionCounts {
+  std::uint64_t post_send_instructions = 0;
+  std::uint64_t poll_cq_instructions = 0;
+  std::uint64_t post_send_mem_accesses = 0;
+  std::uint64_t poll_cq_mem_accesses = 0;
+};
+VerbsInstructionCounts measure_verbs_instruction_counts(
+    const sys::ClusterConfig& cfg, QueueLocation location);
+
+}  // namespace pg::putget

@@ -1,0 +1,39 @@
+#include "putget/modes.h"
+
+namespace pg::putget {
+
+const char* transfer_mode_name(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::kGpuDirect:
+      return "dev2dev-direct";
+    case TransferMode::kGpuPollDevice:
+      return "dev2dev-pollOnGPU";
+    case TransferMode::kHostAssisted:
+      return "dev2dev-assisted";
+    case TransferMode::kHostControlled:
+      return "dev2dev-hostControlled";
+  }
+  return "?";
+}
+
+const char* queue_location_name(QueueLocation loc) {
+  switch (loc) {
+    case QueueLocation::kHostMemory:
+      return "bufOnHost";
+    case QueueLocation::kGpuMemory:
+      return "bufOnGPU";
+  }
+  return "?";
+}
+
+const char* concurrency_style_name(ConcurrencyStyle style) {
+  switch (style) {
+    case ConcurrencyStyle::kBlocks:
+      return "dev2dev-blocks";
+    case ConcurrencyStyle::kKernels:
+      return "dev2dev-kernels";
+  }
+  return "?";
+}
+
+}  // namespace pg::putget

@@ -1,0 +1,39 @@
+// Transfer-mode taxonomy from the paper's evaluation.
+#pragma once
+
+namespace pg::putget {
+
+/// Who drives the communication, and how completion is detected.
+enum class TransferMode {
+  /// GPU posts WRs and polls NIC notifications/CQs. For EXTOLL this is
+  /// "dev2dev-direct"; for IB the queue location is a separate knob.
+  kGpuDirect,
+  /// GPU posts WRs; the receiver polls the last payload element in
+  /// device memory instead of notifications ("dev2dev-pollOnGPU").
+  kGpuPollDevice,
+  /// GPU signals the CPU through a host-memory flag; the CPU performs
+  /// the transfer ("dev2dev-assisted").
+  kHostAssisted,
+  /// CPU controls everything; data still moves GPU-to-GPU
+  /// ("dev2dev-hostControlled").
+  kHostControlled,
+};
+
+/// Where IB queue buffers (send queue + completion queue) live - the
+/// paper's Table II variable.
+enum class QueueLocation {
+  kHostMemory,
+  kGpuMemory,
+};
+
+/// Concurrency style for the message-rate experiments (Figs. 2 and 5).
+enum class ConcurrencyStyle {
+  kBlocks,   // one kernel, one CUDA block per connection
+  kKernels,  // one single-block kernel per connection, distinct streams
+};
+
+const char* transfer_mode_name(TransferMode mode);
+const char* queue_location_name(QueueLocation loc);
+const char* concurrency_style_name(ConcurrencyStyle style);
+
+}  // namespace pg::putget

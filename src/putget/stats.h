@@ -1,0 +1,32 @@
+// Reading device-side stats blocks after a kernel completes.
+#pragma once
+
+#include "mem/memory_domain.h"
+#include "putget/device_lib.h"
+
+namespace pg::putget {
+
+struct DeviceStats {
+  double t_start_ns = 0;
+  double t_end_ns = 0;
+  double post_sum_ns = 0;
+  double poll_sum_ns = 0;
+  std::uint64_t iterations = 0;
+
+  double span_ns() const { return t_end_ns - t_start_ns; }
+};
+
+inline DeviceStats read_device_stats(const mem::MemoryDomain& memory,
+                                     mem::Addr stats_addr) {
+  DeviceStats s;
+  s.t_start_ns = static_cast<double>(memory.read_u64(stats_addr + kStatTStart));
+  s.t_end_ns = static_cast<double>(memory.read_u64(stats_addr + kStatTEnd));
+  s.post_sum_ns =
+      static_cast<double>(memory.read_u64(stats_addr + kStatPostSum));
+  s.poll_sum_ns =
+      static_cast<double>(memory.read_u64(stats_addr + kStatPollSum));
+  s.iterations = memory.read_u64(stats_addr + kStatIterations);
+  return s;
+}
+
+}  // namespace pg::putget

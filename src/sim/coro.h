@@ -1,0 +1,142 @@
+// Coroutine plumbing for sequential control flows inside the simulation.
+//
+// Host-side control code (the CPU running the put/get API) is naturally
+// sequential: build a descriptor, ring a doorbell, poll a flag. Writing it
+// as a C++20 coroutine over the event queue keeps it as readable as the C
+// code it models, while every co_await advances simulated time.
+//
+// GPU device code does NOT use coroutines — it is interpreted from the
+// PTX-lite ISA so that instruction and memory-transaction counts emerge
+// from real code (see gpu/).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace pg::sim {
+
+/// A fire-and-forget coroutine bound to the simulation. The coroutine body
+/// starts running immediately on creation and self-destroys at completion;
+/// the SimTask handle only observes completion.
+class SimTask {
+ public:
+  struct promise_type {
+    std::shared_ptr<bool> done = std::make_shared<bool>(false);
+
+    SimTask get_return_object() { return SimTask(done); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() { *done = true; }
+    void unhandled_exception() {
+      std::fprintf(stderr, "SimTask: unhandled exception in coroutine\n");
+      std::terminate();
+    }
+  };
+
+  SimTask() = default;
+  bool valid() const { return done_ != nullptr; }
+  bool done() const { return done_ && *done_; }
+
+ private:
+  explicit SimTask(std::shared_ptr<bool> done) : done_(std::move(done)) {}
+  std::shared_ptr<bool> done_;
+};
+
+/// co_await Delay{sim, d}: resume after d simulated time.
+struct Delay {
+  Simulation& sim;
+  SimDuration duration;
+
+  bool await_ready() const noexcept { return duration <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim.schedule(duration, [h]() mutable { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// co_await PollUntil{sim, pred, interval, probe_cost}:
+/// models a CPU polling loop. The predicate is probed every `interval`;
+/// once true, the coroutine resumes `probe_cost` later (the cost of the
+/// successful probe itself). Probes are pure reads of simulator state.
+struct PollUntil {
+  Simulation& sim;
+  std::function<bool()> predicate;
+  SimDuration interval;
+  SimDuration probe_cost = 0;
+
+  std::coroutine_handle<> handle_{};
+  std::uint64_t probes_ = 0;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    handle_ = h;
+    step();
+  }
+  /// Number of probes it took (including the successful one).
+  std::uint64_t await_resume() const noexcept { return probes_; }
+
+ private:
+  void step() {
+    ++probes_;
+    if (predicate()) {
+      sim.schedule(probe_cost, [h = handle_]() mutable { h.resume(); });
+      return;
+    }
+    sim.schedule(interval, [this] { step(); });
+  }
+};
+
+/// A broadcast completion signal. Coroutines co_await trigger.wait(sim);
+/// fire() resumes all current waiters (at now, as fresh events). Waiting on
+/// an already-fired trigger continues immediately.
+class Trigger {
+ public:
+  struct Waiter {
+    Trigger& trigger;
+    Simulation& sim;
+
+    bool await_ready() const noexcept { return trigger.fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      trigger.waiters_.push_back({&sim, h});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Waiter wait(Simulation& sim) { return Waiter{*this, sim}; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : waiters) {
+      w.sim->schedule(0, [h = w.handle]() mutable { h.resume(); });
+    }
+  }
+
+  bool fired() const { return fired_; }
+
+  /// Re-arms the trigger. Must not be called while coroutines wait on it.
+  void reset() {
+    assert(waiters_.empty());
+    fired_ = false;
+  }
+
+ private:
+  struct Pending {
+    Simulation* sim;
+    std::coroutine_handle<> handle;
+  };
+  bool fired_ = false;
+  std::vector<Pending> waiters_;
+};
+
+}  // namespace pg::sim

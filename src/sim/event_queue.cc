@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pg::sim {
+
+EventId EventQueue::schedule_at(SimTime when, EventFn fn) {
+  const EventId id = next_seq_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  // Tombstone; verified lazily at pop time. We cannot check membership in
+  // the heap cheaply, so trust the caller not to cancel twice.
+  cancelled_.push_back(id);
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const EventId id = heap_.top().seq;
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    // priority_queue::pop destroys the entry (and its closure).
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top is const; move out via const_cast, which is safe
+  // because we pop immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, top.seq, std::move(top.fn)};
+  heap_.pop();
+  assert(live_count_ > 0);
+  --live_count_;
+  return out;
+}
+
+}  // namespace pg::sim

@@ -1,0 +1,70 @@
+// Discrete-event priority queue.
+//
+// Events are ordered by (timestamp, sequence number). The sequence number
+// makes execution order of same-timestamp events deterministic (FIFO in
+// scheduling order), which the whole simulator relies on for reproducible
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pg::sim {
+
+using EventFn = std::function<void()>;
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Returns an id for cancel().
+  EventId schedule_at(SimTime when, EventFn fn);
+
+  /// Marks an event as cancelled; it is skipped when its time arrives.
+  /// Returns false if the id was never scheduled or already ran.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the next live event. Requires !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the next live event. Requires !empty().
+  struct Popped {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Popped pop();
+
+  std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId seq;  // doubles as the event id
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventId> cancelled_;  // sorted-on-demand tombstones
+  std::size_t live_count_ = 0;
+  EventId next_seq_ = 1;
+};
+
+}  // namespace pg::sim

@@ -1,0 +1,49 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace pg::sim {
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  if (events_executed_ >= event_limit_) {
+    event_limit_hit_ = true;
+    return false;
+  }
+  auto popped = queue_.pop();
+  assert(popped.time >= now_ && "event queue produced time travel");
+  now_ = popped.time;
+  ++events_executed_;
+  popped.fn();
+  return true;
+}
+
+std::uint64_t Simulation::run() {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && !queue_.empty() &&
+         queue_.next_time() <= deadline) {
+    if (!step()) break;
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulation::run_until_condition(const std::function<bool()>& predicate) {
+  stop_requested_ = false;
+  if (predicate()) return true;
+  while (!stop_requested_ && step()) {
+    if (predicate()) return true;
+  }
+  return predicate();
+}
+
+}  // namespace pg::sim

@@ -1,0 +1,72 @@
+// The simulation kernel: a clock plus an event queue.
+//
+// Every model component holds a Simulation& and expresses behaviour as
+// events (schedule / schedule_at). The kernel is strictly single-threaded;
+// determinism comes from the (time, seq) total order in EventQueue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace pg::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventId schedule(SimDuration delay, EventFn fn) {
+    return queue_.schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute timestamp (must be >= now()).
+  EventId schedule_at(SimTime when, EventFn fn) {
+    return queue_.schedule_at(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue drains or `run_stop()` is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs events with timestamps <= `deadline` (events exactly at the
+  /// deadline run). The clock is advanced to the deadline afterwards.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until `predicate()` turns true (checked after every event) or
+  /// the queue drains. Returns true when the predicate was satisfied.
+  bool run_until_condition(const std::function<bool()>& predicate);
+
+  /// Requests that run()/run_until() return after the current event.
+  void run_stop() { stop_requested_ = true; }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Safety valve: run() aborts (with an assertion in debug builds, by
+  /// returning in release builds) after this many events. Guards against
+  /// accidental event storms in model bugs.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+  bool event_limit_hit() const { return event_limit_hit_; }
+
+ private:
+  bool step();
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t event_limit_ = std::numeric_limits<std::uint64_t>::max();
+  bool event_limit_hit_ = false;
+};
+
+}  // namespace pg::sim

@@ -1,0 +1,21 @@
+#include "sys/cluster.h"
+
+namespace pg::sys {
+
+Cluster::Cluster(const ClusterConfig& cfg) {
+  sim_.set_event_limit(100'000'000);  // storm guard for runaway models
+  nodes_[0] = std::make_unique<Node>(sim_, cfg.node, "node0");
+  nodes_[1] = std::make_unique<Node>(sim_, cfg.node, "node1");
+  if (cfg.node.with_extoll) {
+    extoll_link_ = std::make_unique<net::NetworkLink>(sim_, cfg.extoll_net);
+    nodes_[0]->extoll().connect(extoll_link_.get(), 0);
+    nodes_[1]->extoll().connect(extoll_link_.get(), 1);
+  }
+  if (cfg.node.with_ib) {
+    ib_link_ = std::make_unique<net::NetworkLink>(sim_, cfg.ib_net);
+    nodes_[0]->hca().connect(ib_link_.get(), 0);
+    nodes_[1]->hca().connect(ib_link_.get(), 1);
+  }
+}
+
+}  // namespace pg::sys

@@ -1,0 +1,45 @@
+// The two-node testbed: a pair of Nodes joined by EXTOLL and/or
+// InfiniBand links, mirroring the paper's experimental setup (two nodes
+// with EXTOLL Galibier cards, two nodes with IB 4X FDR HCAs).
+#pragma once
+
+#include <memory>
+
+#include "net/link.h"
+#include "sim/simulation.h"
+#include "sys/node.h"
+
+namespace pg::sys {
+
+struct ClusterConfig {
+  NodeConfig node;
+  net::NetConfig extoll_net;
+  net::NetConfig ib_net;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  Node& node(int i) { return *nodes_[i]; }
+  net::NetworkLink* extoll_link() { return extoll_link_.get(); }
+  net::NetworkLink* ib_link() { return ib_link_.get(); }
+
+  /// Runs until `predicate` holds; returns false if the event queue
+  /// drained or the event limit tripped first.
+  bool run_until(const std::function<bool()>& predicate) {
+    return sim_.run_until_condition(predicate);
+  }
+
+ private:
+  sim::Simulation sim_;
+  std::unique_ptr<Node> nodes_[2];
+  std::unique_ptr<net::NetworkLink> extoll_link_;
+  std::unique_ptr<net::NetworkLink> ib_link_;
+};
+
+}  // namespace pg::sys

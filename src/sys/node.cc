@@ -1,0 +1,27 @@
+#include "sys/node.h"
+
+namespace pg::sys {
+
+using mem::AddressMap;
+
+Node::Node(sim::Simulation& sim, const NodeConfig& cfg,
+           const std::string& name)
+    : name_(name),
+      fabric_(sim, memory_, cfg.fabric),
+      cpu_(sim, fabric_, cfg.cpu),
+      host_heap_(AddressMap::kHostDramBase, 3 * GiB),
+      kernel_arena_(AddressMap::kHostDramBase + 3 * GiB, 1 * GiB),
+      gpu_heap_(AddressMap::kGpuDramBase, AddressMap::kGpuDramSize) {
+  gpu_ = std::make_unique<gpu::Gpu>(sim, fabric_, memory_, cfg.gpu,
+                                    name + ".gpu");
+  if (cfg.with_extoll) {
+    extoll_ = std::make_unique<extoll::ExtollNic>(
+        sim, fabric_, memory_, kernel_arena_, cfg.extoll, name + ".extoll");
+  }
+  if (cfg.with_ib) {
+    hca_ = std::make_unique<ib::Hca>(sim, fabric_, memory_, cfg.ib,
+                                     name + ".hca");
+  }
+}
+
+}  // namespace pg::sys

@@ -1,0 +1,74 @@
+#include "sys/testbed.h"
+
+namespace pg::sys {
+
+ClusterConfig default_testbed() {
+  ClusterConfig cfg;
+
+  // PCIe fabric: Gen3-x8-class effective rates.
+  cfg.node.fabric.host_dram_latency = nanoseconds(90);
+  cfg.node.fabric.endpoint_turnaround = nanoseconds(50);
+
+  // GPU: Kepler-class. The issue interval encodes the weak single-thread
+  // performance the paper leans on (a lone dependent instruction stream
+  // retires every ~10 cycles).
+  cfg.node.gpu.clock_period = picoseconds(1000);  // 1 GHz
+  cfg.node.gpu.issue_cycles = 10;
+  cfg.node.gpu.l2_hit_cycles = 200;
+  cfg.node.gpu.dram_extra_cycles = 280;
+  cfg.node.gpu.launch_overhead = microseconds(6);
+  cfg.node.gpu.max_outstanding_sysmem_reads = 4;
+  cfg.node.gpu.link.bandwidth = gigabytes_per_second(6.5);
+  cfg.node.gpu.link.propagation = nanoseconds(250);
+  cfg.node.gpu.sysmem_read_extra = nanoseconds(800);
+  cfg.node.gpu.mmio_store_flush = nanoseconds(400);
+  // P2P read path: ~1 GB/s ceiling, 1 MiB resident window (the >1 MiB
+  // bandwidth-drop mechanism).
+  cfg.node.gpu.p2p.read_throughput = gigabytes_per_second(1.05);
+  cfg.node.gpu.p2p.base_latency = nanoseconds(250);
+  cfg.node.gpu.p2p.page_lru_capacity = 256;
+  cfg.node.gpu.p2p.page_miss_penalty = nanoseconds(2000);
+
+  // Host CPU.
+  cfg.node.cpu.mmio_write_cost = nanoseconds(120);
+  cfg.node.cpu.descriptor_build_cost = nanoseconds(100);
+  cfg.node.cpu.cached_poll_interval = nanoseconds(60);
+
+  // EXTOLL Galibier.
+  cfg.node.extoll.core_clock_hz = 157e6;
+  cfg.node.extoll.datapath_bytes = 8;
+  cfg.node.extoll.wr_decode_cycles = 16;   // ~102 ns
+  cfg.node.extoll.completer_cycles = 20;
+  cfg.node.extoll.responder_cycles = 16;
+  cfg.node.extoll.pcie_link.bandwidth = gigabytes_per_second(3.2);  // x4 gen2
+  cfg.node.extoll.pcie_link.propagation = nanoseconds(250);
+  cfg.extoll_net.bandwidth = gigabytes_per_second(1.0);
+  cfg.extoll_net.latency = nanoseconds(400);
+
+  // Mellanox IB 4X FDR.
+  cfg.node.ib.wqe_process = nanoseconds(350);
+  cfg.node.ib.recv_lookup = nanoseconds(200);
+  cfg.node.ib.ack_process = nanoseconds(120);
+  cfg.node.ib.pcie_link.bandwidth = gigabytes_per_second(6.5);
+  cfg.node.ib.pcie_link.propagation = nanoseconds(250);
+  cfg.ib_net.bandwidth = gigabytes_per_second(6.8);
+  cfg.ib_net.latency = nanoseconds(700);
+
+  return cfg;
+}
+
+ClusterConfig extoll_testbed() {
+  ClusterConfig cfg = default_testbed();
+  cfg.node.with_extoll = true;
+  cfg.node.with_ib = false;
+  return cfg;
+}
+
+ClusterConfig ib_testbed() {
+  ClusterConfig cfg = default_testbed();
+  cfg.node.with_extoll = false;
+  cfg.node.with_ib = true;
+  return cfg;
+}
+
+}  // namespace pg::sys

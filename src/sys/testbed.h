@@ -1,0 +1,25 @@
+// Calibrated testbed presets.
+//
+// One knob set per paper testbed. Values are chosen so the reproduced
+// figures have the paper's *shape* (who wins, by what factor, where
+// crossovers fall); EXPERIMENTS.md records paper-vs-measured per figure.
+#pragma once
+
+#include "sys/cluster.h"
+
+namespace pg::sys {
+
+/// The common node model: Kepler-class GPU (1 GHz SM clock, weak single
+/// thread), Gen3-x8-class PCIe, ~1 GB/s peer-to-peer read ceiling with a
+/// 1 MiB resident-page window.
+ClusterConfig default_testbed();
+
+/// Two nodes with EXTOLL Galibier add-in cards (157 MHz FPGA, 64-bit
+/// datapath, ~1 GB/s link).
+ClusterConfig extoll_testbed();
+
+/// Two nodes with IB 4X FDR HCAs (6.8 GB/s raw link; end-to-end limited
+/// by the PCIe P2P path).
+ClusterConfig ib_testbed();
+
+}  // namespace pg::sys

@@ -1,0 +1,141 @@
+// End-to-end tests of the EXTOLL experiment protocols: every transfer
+// mode must move correct bytes and produce sane measurements with the
+// paper's orderings.
+#include <gtest/gtest.h>
+
+#include "putget/extoll_experiments.h"
+#include "sys/testbed.h"
+
+namespace pg::putget {
+namespace {
+
+class ExtollPingPongModes : public ::testing::TestWithParam<TransferMode> {};
+
+TEST_P(ExtollPingPongModes, MovesCorrectBytesAndMeasures) {
+  auto r = run_extoll_pingpong(sys::extoll_testbed(), GetParam(), 1024, 10);
+  EXPECT_TRUE(r.payload_ok) << transfer_mode_name(GetParam());
+  EXPECT_GT(r.half_rtt_us, 0.5);
+  EXPECT_LT(r.half_rtt_us, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ExtollPingPongModes,
+                         ::testing::Values(TransferMode::kGpuDirect,
+                                           TransferMode::kGpuPollDevice,
+                                           TransferMode::kHostAssisted,
+                                           TransferMode::kHostControlled),
+                         [](const auto& info) {
+                           std::string n = transfer_mode_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ExtollExperiments, PaperOrderingSmallMessages) {
+  const auto cfg = sys::extoll_testbed();
+  const auto direct =
+      run_extoll_pingpong(cfg, TransferMode::kGpuDirect, 64, 20);
+  const auto pollgpu =
+      run_extoll_pingpong(cfg, TransferMode::kGpuPollDevice, 64, 20);
+  const auto assisted =
+      run_extoll_pingpong(cfg, TransferMode::kHostAssisted, 64, 20);
+  const auto host =
+      run_extoll_pingpong(cfg, TransferMode::kHostControlled, 64, 20);
+  ASSERT_TRUE(direct.payload_ok && pollgpu.payload_ok &&
+              assisted.payload_ok && host.payload_ok);
+  // Paper, Fig 1a: direct is ~2x host-controlled; pollOnGPU beats
+  // assisted; CPU-controlled beats GPU-direct.
+  EXPECT_GT(direct.half_rtt_us, 1.5 * host.half_rtt_us);
+  EXPECT_LT(direct.half_rtt_us, 4.0 * host.half_rtt_us);
+  EXPECT_LT(pollgpu.half_rtt_us, assisted.half_rtt_us);
+  EXPECT_LT(host.half_rtt_us, direct.half_rtt_us);
+}
+
+TEST(ExtollExperiments, TableOneCounterShape) {
+  const auto cfg = sys::extoll_testbed();
+  const auto direct =
+      run_extoll_pingpong(cfg, TransferMode::kGpuDirect, 1024, 100);
+  const auto pollgpu =
+      run_extoll_pingpong(cfg, TransferMode::kGpuPollDevice, 1024, 100);
+  ASSERT_TRUE(direct.payload_ok && pollgpu.payload_ok);
+  const gpu::PerfCounters& sys = direct.gpu0;
+  const gpu::PerfCounters& dev = pollgpu.gpu0;
+  // Table I shape: notification polling reads system memory heavily and
+  // never hits L2; device-memory polling does the opposite.
+  EXPECT_GT(sys.sysmem_read_transactions, 100u);
+  EXPECT_EQ(dev.sysmem_read_transactions, 0u);
+  EXPECT_EQ(sys.l2_read_hits, 0u);
+  EXPECT_GT(dev.l2_read_hits, 100u);
+  // Both post 100 WRs of 3 words: 300 sysmem writes, plus queue frees in
+  // the notification variant.
+  EXPECT_GE(dev.sysmem_write_transactions, 300u);
+  EXPECT_LE(dev.sysmem_write_transactions, 330u);
+  EXPECT_GT(sys.sysmem_write_transactions, dev.sysmem_write_transactions);
+  // Notification polling costs roughly twice the instructions.
+  EXPECT_GT(sys.instructions_executed, dev.instructions_executed);
+  EXPECT_TRUE(sys.consistent());
+  EXPECT_TRUE(dev.consistent());
+}
+
+TEST(ExtollExperiments, BandwidthModesDeliverAndRank) {
+  const auto cfg = sys::extoll_testbed();
+  const auto direct =
+      run_extoll_bandwidth(cfg, TransferMode::kGpuDirect, 64 * KiB, 20);
+  const auto assisted =
+      run_extoll_bandwidth(cfg, TransferMode::kHostAssisted, 64 * KiB, 20);
+  const auto host =
+      run_extoll_bandwidth(cfg, TransferMode::kHostControlled, 64 * KiB, 20);
+  ASSERT_TRUE(direct.payload_ok && assisted.payload_ok && host.payload_ok);
+  EXPECT_GT(direct.mb_per_s, 50);
+  // Paper: a gap remains between GPU- and CPU-controlled transfers.
+  EXPECT_GT(host.mb_per_s, direct.mb_per_s);
+}
+
+TEST(ExtollExperiments, BandwidthDropsBeyondOneMegabyte) {
+  const auto cfg = sys::extoll_testbed();
+  const auto at_512k =
+      run_extoll_bandwidth(cfg, TransferMode::kHostControlled, 512 * KiB, 12);
+  const auto at_4m =
+      run_extoll_bandwidth(cfg, TransferMode::kHostControlled, 4 * MiB, 6);
+  ASSERT_TRUE(at_512k.payload_ok && at_4m.payload_ok);
+  // The PCIe peer-to-peer pathology: larger-than-1MiB transfers lose
+  // bandwidth.
+  EXPECT_LT(at_4m.mb_per_s, 0.85 * at_512k.mb_per_s);
+}
+
+TEST(ExtollExperiments, MessageRateVariantsRank) {
+  const auto cfg = sys::extoll_testbed();
+  const std::uint32_t pairs = 8;
+  const std::uint32_t msgs = 40;
+  const auto blocks =
+      run_extoll_msgrate(cfg, RateVariant::kBlocks, pairs, msgs);
+  const auto kernels =
+      run_extoll_msgrate(cfg, RateVariant::kKernels, pairs, msgs);
+  const auto assisted =
+      run_extoll_msgrate(cfg, RateVariant::kAssisted, pairs, msgs);
+  const auto host =
+      run_extoll_msgrate(cfg, RateVariant::kHostControlled, pairs, msgs);
+  ASSERT_GT(blocks.msgs_per_s, 0);
+  ASSERT_GT(kernels.msgs_per_s, 0);
+  ASSERT_GT(assisted.msgs_per_s, 0);
+  ASSERT_GT(host.msgs_per_s, 0);
+  // Paper, Fig 2: blocks ~ kernels; host-controlled fastest; assisted in
+  // between.
+  EXPECT_LT(std::abs(blocks.msgs_per_s - kernels.msgs_per_s),
+            0.5 * blocks.msgs_per_s);
+  EXPECT_GT(host.msgs_per_s, blocks.msgs_per_s);
+  EXPECT_GT(host.msgs_per_s, assisted.msgs_per_s);
+  EXPECT_GT(assisted.msgs_per_s, blocks.msgs_per_s);
+}
+
+TEST(ExtollExperiments, MessageRateScalesWithPairs) {
+  const auto cfg = sys::extoll_testbed();
+  const auto one = run_extoll_msgrate(cfg, RateVariant::kBlocks, 1, 60);
+  const auto eight = run_extoll_msgrate(cfg, RateVariant::kBlocks, 8, 60);
+  ASSERT_GT(one.msgs_per_s, 0);
+  ASSERT_GT(eight.msgs_per_s, 0);
+  EXPECT_GT(eight.msgs_per_s, 2.0 * one.msgs_per_s);
+}
+
+}  // namespace
+}  // namespace pg::putget

@@ -1,0 +1,177 @@
+// End-to-end tests of the InfiniBand experiment protocols: all modes
+// move correct bytes; shapes match the paper's Figs. 4-5 / Table II.
+#include <gtest/gtest.h>
+
+#include "putget/ib_experiments.h"
+#include "sys/testbed.h"
+
+namespace pg::putget {
+namespace {
+
+struct ModeCase {
+  TransferMode mode;
+  QueueLocation location;
+  const char* name;
+};
+
+class IbPingPongModes : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(IbPingPongModes, MovesCorrectBytesAndMeasures) {
+  const auto& param = GetParam();
+  auto r = run_ib_pingpong(sys::ib_testbed(), param.mode, param.location,
+                           1024, 10);
+  EXPECT_TRUE(r.payload_ok) << param.name;
+  EXPECT_GT(r.half_rtt_us, 0.5);
+  EXPECT_LT(r.half_rtt_us, 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, IbPingPongModes,
+    ::testing::Values(
+        ModeCase{TransferMode::kGpuDirect, QueueLocation::kGpuMemory,
+                 "bufOnGPU"},
+        ModeCase{TransferMode::kGpuDirect, QueueLocation::kHostMemory,
+                 "bufOnHost"},
+        ModeCase{TransferMode::kHostAssisted, QueueLocation::kHostMemory,
+                 "assisted"},
+        ModeCase{TransferMode::kHostControlled, QueueLocation::kHostMemory,
+                 "hostControlled"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(IbExperiments, PaperOrderingSmallMessages) {
+  const auto cfg = sys::ib_testbed();
+  const auto on_gpu = run_ib_pingpong(cfg, TransferMode::kGpuDirect,
+                                      QueueLocation::kGpuMemory, 64, 20);
+  const auto on_host = run_ib_pingpong(cfg, TransferMode::kGpuDirect,
+                                       QueueLocation::kHostMemory, 64, 20);
+  const auto assisted = run_ib_pingpong(cfg, TransferMode::kHostAssisted,
+                                        QueueLocation::kHostMemory, 64, 20);
+  const auto host = run_ib_pingpong(cfg, TransferMode::kHostControlled,
+                                    QueueLocation::kHostMemory, 64, 20);
+  ASSERT_TRUE(on_gpu.payload_ok && on_host.payload_ok && assisted.payload_ok &&
+              host.payload_ok);
+  // Fig 4a: GPU-initiated latency is much higher than host-initiated for
+  // small messages; queue placement makes only a small difference.
+  EXPECT_GT(on_gpu.half_rtt_us, 2.0 * host.half_rtt_us);
+  EXPECT_GT(on_host.half_rtt_us, 2.0 * host.half_rtt_us);
+  const double diff =
+      std::abs(on_gpu.half_rtt_us - on_host.half_rtt_us);
+  EXPECT_LT(diff, 0.35 * on_host.half_rtt_us);
+  // GPU-initiated is slower than assisted, which is slower than host.
+  EXPECT_GT(on_gpu.half_rtt_us, assisted.half_rtt_us);
+  EXPECT_GT(assisted.half_rtt_us, host.half_rtt_us);
+}
+
+TEST(IbExperiments, TableTwoCounterShape) {
+  const auto cfg = sys::ib_testbed();
+  const auto on_host = run_ib_pingpong(cfg, TransferMode::kGpuDirect,
+                                       QueueLocation::kHostMemory, 1024, 100);
+  const auto on_gpu = run_ib_pingpong(cfg, TransferMode::kGpuDirect,
+                                      QueueLocation::kGpuMemory, 1024, 100);
+  ASSERT_TRUE(on_host.payload_ok && on_gpu.payload_ok);
+  const gpu::PerfCounters& h = on_host.gpu0;
+  const gpu::PerfCounters& g = on_gpu.gpu0;
+  // Table II shape: host-resident queues cause more system-memory
+  // traffic, but the difference is much smaller than EXTOLL's because the
+  // bulk of the work is WQE generation, not queue polling.
+  EXPECT_GT(h.sysmem_read_transactions, g.sysmem_read_transactions);
+  EXPECT_GT(h.sysmem_write_transactions, g.sysmem_write_transactions);
+  // Both variants execute a similar (large) instruction count, within 25%.
+  const double ratio =
+      static_cast<double>(h.instructions_executed) /
+      static_cast<double>(g.instructions_executed);
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.35);
+  // Per iteration: on the order of a thousand instructions and hundreds
+  // of memory accesses (the paper: ~1,100 and ~600).
+  EXPECT_GT(h.instructions_executed / 100, 300u);
+  EXPECT_LT(h.instructions_executed / 100, 4000u);
+  EXPECT_GT(h.memory_accesses / 100, 80u);
+  EXPECT_TRUE(h.consistent());
+  EXPECT_TRUE(g.consistent());
+}
+
+TEST(IbExperiments, BandwidthCappedByPeerPath) {
+  const auto cfg = sys::ib_testbed();
+  const auto host = run_ib_bandwidth(cfg, TransferMode::kHostControlled,
+                                     QueueLocation::kHostMemory, 256 * KiB,
+                                     16);
+  ASSERT_TRUE(host.payload_ok);
+  // Fig 4b: ~1 GB/s despite the 6.8 GB/s link (P2P-read-limited).
+  EXPECT_GT(host.mb_per_s, 500);
+  EXPECT_LT(host.mb_per_s, 1400);
+}
+
+TEST(IbExperiments, BandwidthDecreasesForLargeMessages) {
+  const auto cfg = sys::ib_testbed();
+  const auto mid = run_ib_bandwidth(cfg, TransferMode::kHostControlled,
+                                    QueueLocation::kHostMemory, 512 * KiB, 12);
+  const auto big = run_ib_bandwidth(cfg, TransferMode::kHostControlled,
+                                    QueueLocation::kHostMemory, 4 * MiB, 6);
+  ASSERT_TRUE(mid.payload_ok && big.payload_ok);
+  EXPECT_LT(big.mb_per_s, 0.85 * mid.mb_per_s);
+}
+
+TEST(IbExperiments, GpuBandwidthApproachesHostAtLargeSizes) {
+  const auto cfg = sys::ib_testbed();
+  const auto gpu = run_ib_bandwidth(cfg, TransferMode::kGpuDirect,
+                                    QueueLocation::kGpuMemory, 256 * KiB, 16);
+  const auto host = run_ib_bandwidth(cfg, TransferMode::kHostControlled,
+                                     QueueLocation::kHostMemory, 256 * KiB,
+                                     16);
+  ASSERT_TRUE(gpu.payload_ok && host.payload_ok);
+  EXPECT_GT(gpu.mb_per_s, 0.6 * host.mb_per_s);
+}
+
+TEST(IbExperiments, MessageRateConvergesToHostAtManyPairs) {
+  const auto cfg = sys::ib_testbed();
+  const auto gpu1 = run_ib_msgrate(cfg, RateVariant::kBlocks, 1, 40);
+  const auto gpu16 = run_ib_msgrate(cfg, RateVariant::kBlocks, 16, 40);
+  const auto host16 =
+      run_ib_msgrate(cfg, RateVariant::kHostControlled, 16, 40);
+  ASSERT_GT(gpu1.msgs_per_s, 0);
+  ASSERT_GT(gpu16.msgs_per_s, 0);
+  ASSERT_GT(host16.msgs_per_s, 0);
+  // Fig 5: GPU rates scale with connections and approach host-initiated
+  // rates ("for 32 connections almost the same message rate").
+  EXPECT_GT(gpu16.msgs_per_s, 5.0 * gpu1.msgs_per_s);
+  EXPECT_GT(gpu16.msgs_per_s, 0.25 * host16.msgs_per_s);
+}
+
+TEST(IbExperiments, AssistedRatePlateaus) {
+  const auto cfg = sys::ib_testbed();
+  const auto at4 = run_ib_msgrate(cfg, RateVariant::kAssisted, 4, 40);
+  const auto at16 = run_ib_msgrate(cfg, RateVariant::kAssisted, 16, 40);
+  ASSERT_GT(at4.msgs_per_s, 0);
+  ASSERT_GT(at16.msgs_per_s, 0);
+  // Fig 5 / paper: "the message rate of the host-assisted version remains
+  // constant for more than four connection pairs" (single serving thread).
+  EXPECT_LT(at16.msgs_per_s, 1.8 * at4.msgs_per_s);
+}
+
+TEST(IbExperiments, BlocksAndKernelsEquivalent) {
+  const auto cfg = sys::ib_testbed();
+  const auto blocks = run_ib_msgrate(cfg, RateVariant::kBlocks, 8, 30);
+  const auto kernels = run_ib_msgrate(cfg, RateVariant::kKernels, 8, 30);
+  ASSERT_GT(blocks.msgs_per_s, 0);
+  ASSERT_GT(kernels.msgs_per_s, 0);
+  EXPECT_LT(std::abs(blocks.msgs_per_s - kernels.msgs_per_s),
+            0.5 * blocks.msgs_per_s);
+}
+
+TEST(IbExperiments, VerbsInstructionCountsMatchPaperMagnitude) {
+  const auto counts = measure_verbs_instruction_counts(
+      sys::ib_testbed(), QueueLocation::kGpuMemory);
+  // Paper: 442 instructions to post a WQE, 283 for a successful poll.
+  // Our port is leaner but must be the same order of magnitude and
+  // clearly heavyweight for a single thread.
+  EXPECT_GT(counts.post_send_instructions, 60u);
+  EXPECT_LT(counts.post_send_instructions, 1200u);
+  EXPECT_GT(counts.poll_cq_instructions, 30u);
+  EXPECT_LT(counts.poll_cq_instructions, 800u);
+  // Posting writes the 64-byte WQE + stamps: plenty of memory accesses.
+  EXPECT_GT(counts.post_send_mem_accesses, 15u);
+}
+
+}  // namespace
+}  // namespace pg::putget

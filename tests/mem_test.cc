@@ -1,0 +1,203 @@
+// Tests for the memory substrate: address map, sparse store, domain,
+// and registration (the NICs' protection model).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/address_map.h"
+#include "mem/memory_domain.h"
+#include "mem/registration.h"
+#include "mem/sparse_memory.h"
+
+namespace pg::mem {
+namespace {
+
+TEST(AddressMap, ClassifiesEverySpace) {
+  EXPECT_EQ(AddressMap::classify(AddressMap::kHostDramBase), Space::kHostDram);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kGpuDramBase + 100),
+            Space::kGpuDram);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kExtollBarBase),
+            Space::kExtollBar);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kIbUarBase), Space::kIbUar);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kGpuSharedBase),
+            Space::kGpuShared);
+  EXPECT_EQ(AddressMap::classify(0), Space::kInvalid);
+  EXPECT_EQ(AddressMap::classify(AddressMap::kHostDramBase - 1),
+            Space::kInvalid);
+}
+
+TEST(AddressMap, ContainedRejectsStraddles) {
+  EXPECT_TRUE(AddressMap::contained(AddressMap::kHostDramBase, 4096));
+  EXPECT_FALSE(AddressMap::contained(
+      AddressMap::kHostDramBase + AddressMap::kHostDramSize - 8, 16));
+  EXPECT_TRUE(AddressMap::contained(AddressMap::kGpuDramBase, 0));
+}
+
+TEST(SparseMemory, UnwrittenReadsZero) {
+  SparseMemory m(1 << 20);
+  std::vector<std::uint8_t> buf(64, 0xFF);
+  m.read(5000, buf);
+  for (auto b : buf) EXPECT_EQ(b, 0);
+  EXPECT_EQ(m.resident_pages(), 0u);
+}
+
+TEST(SparseMemory, ReadAfterWriteRoundTrip) {
+  SparseMemory m(1 << 20);
+  std::vector<std::uint8_t> in = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  m.write(100, in);
+  std::vector<std::uint8_t> out(in.size());
+  m.read(100, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(SparseMemory, CrossesPageBoundaries) {
+  SparseMemory m(1 << 20);
+  std::vector<std::uint8_t> in(10000);
+  Rng rng(5);
+  for (auto& b : in) b = rng.next_byte();
+  const std::uint64_t offset = SparseMemory::kPageSize - 37;
+  m.write(offset, in);
+  std::vector<std::uint8_t> out(in.size());
+  m.read(offset, out);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(m.resident_pages(), 4u);  // pages 0..3 touched
+}
+
+TEST(SparseMemory, ScalarHelpers) {
+  SparseMemory m(1 << 16);
+  m.write_u64(8, 0x1122334455667788ull);
+  EXPECT_EQ(m.read_u64(8), 0x1122334455667788ull);
+  m.write_u32(100, 0xCAFEBABEu);
+  EXPECT_EQ(m.read_u32(100), 0xCAFEBABEu);
+  m.write_u8(3, 0x5A);
+  EXPECT_EQ(m.read_u8(3), 0x5A);
+}
+
+TEST(SparseMemory, PropertyRandomReadWriteFidelity) {
+  SparseMemory m(1 << 22);
+  // Mirror model: compare against a flat vector.
+  std::vector<std::uint8_t> mirror(1 << 22, 0);
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t len = 1 + rng.next_below(3000);
+    const std::uint64_t off = rng.next_below(mirror.size() - len);
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = rng.next_byte();
+    m.write(off, data);
+    std::copy(data.begin(), data.end(), mirror.begin() + off);
+
+    const std::uint64_t rlen = 1 + rng.next_below(3000);
+    const std::uint64_t roff = rng.next_below(mirror.size() - rlen);
+    std::vector<std::uint8_t> got(rlen);
+    m.read(roff, got);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), mirror.begin() + roff))
+        << "mismatch at iteration " << i;
+  }
+}
+
+TEST(SparseMemory, ClearReleasesPages) {
+  SparseMemory m(1 << 20);
+  m.write_u64(0, 1);
+  m.write_u64(8192, 2);
+  EXPECT_EQ(m.resident_pages(), 2u);
+  m.clear();
+  EXPECT_EQ(m.resident_pages(), 0u);
+  EXPECT_EQ(m.read_u64(0), 0u);
+}
+
+TEST(MemoryDomain, RoutesHostAndGpuDram) {
+  MemoryDomain dom;
+  dom.write_u64(AddressMap::kHostDramBase + 64, 0xAAAA);
+  dom.write_u64(AddressMap::kGpuDramBase + 64, 0xBBBB);
+  EXPECT_EQ(dom.read_u64(AddressMap::kHostDramBase + 64), 0xAAAAu);
+  EXPECT_EQ(dom.read_u64(AddressMap::kGpuDramBase + 64), 0xBBBBu);
+  // The same offset in different spaces is distinct storage.
+  EXPECT_EQ(dom.host_dram().read_u64(64), 0xAAAAu);
+  EXPECT_EQ(dom.gpu_dram().read_u64(64), 0xBBBBu);
+}
+
+TEST(MemoryDomain, BackedChecks) {
+  MemoryDomain dom;
+  EXPECT_TRUE(dom.backed(AddressMap::kHostDramBase, 4096));
+  EXPECT_TRUE(dom.backed(AddressMap::kGpuDramBase + 1024, 8));
+  EXPECT_FALSE(dom.backed(AddressMap::kExtollBarBase, 8));
+  EXPECT_FALSE(dom.backed(0x1234, 8));
+}
+
+// --- Registration ----------------------------------------------------------
+
+TEST(Registration, RegisterAndTranslate) {
+  RegistrationTable table;
+  auto reg = table.register_region(AddressMap::kGpuDramBase + 4096, 1 << 20,
+                                   Access::kReadWrite);
+  ASSERT_TRUE(reg.is_ok());
+  auto addr = table.translate(reg->key, 100, 8, Access::kRead);
+  ASSERT_TRUE(addr.is_ok());
+  EXPECT_EQ(*addr, AddressMap::kGpuDramBase + 4096 + 100);
+}
+
+TEST(Registration, RejectsBadRegions) {
+  RegistrationTable table;
+  EXPECT_FALSE(
+      table.register_region(AddressMap::kHostDramBase, 0, Access::kRead)
+          .is_ok());
+  EXPECT_FALSE(
+      table.register_region(AddressMap::kExtollBarBase, 64, Access::kRead)
+          .is_ok());
+  EXPECT_FALSE(table
+                   .register_region(AddressMap::kHostDramBase, 64,
+                                    Access::kNone)
+                   .is_ok());
+  // Straddling the end of a space.
+  EXPECT_FALSE(table
+                   .register_region(AddressMap::kHostDramBase +
+                                        AddressMap::kHostDramSize - 8,
+                                    64, Access::kRead)
+                   .is_ok());
+}
+
+TEST(Registration, EnforcesBounds) {
+  RegistrationTable table;
+  auto reg = table.register_region(AddressMap::kHostDramBase, 4096,
+                                   Access::kReadWrite);
+  ASSERT_TRUE(reg.is_ok());
+  EXPECT_TRUE(table.translate(reg->key, 4088, 8, Access::kRead).is_ok());
+  EXPECT_FALSE(table.translate(reg->key, 4089, 8, Access::kRead).is_ok());
+  EXPECT_FALSE(table.translate(reg->key, 0, 5000, Access::kRead).is_ok());
+  auto st = table.check(reg->key, AddressMap::kHostDramBase + 5000, 8,
+                        Access::kRead);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Registration, EnforcesPermissions) {
+  RegistrationTable table;
+  auto ro = table.register_region(AddressMap::kHostDramBase, 4096,
+                                  Access::kRead);
+  ASSERT_TRUE(ro.is_ok());
+  EXPECT_TRUE(table.translate(ro->key, 0, 8, Access::kRead).is_ok());
+  auto denied = table.translate(ro->key, 0, 8, Access::kWrite);
+  EXPECT_FALSE(denied.is_ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Registration, DeregisterInvalidatesKey) {
+  RegistrationTable table;
+  auto reg = table.register_region(AddressMap::kHostDramBase, 4096,
+                                   Access::kReadWrite);
+  ASSERT_TRUE(reg.is_ok());
+  EXPECT_TRUE(table.deregister(reg->key).is_ok());
+  EXPECT_FALSE(table.translate(reg->key, 0, 8, Access::kRead).is_ok());
+  EXPECT_FALSE(table.deregister(reg->key).is_ok());
+}
+
+TEST(Registration, UnknownKeyIsNotFound) {
+  RegistrationTable table;
+  auto r = table.check(777, AddressMap::kHostDramBase, 8, Access::kRead);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pg::mem

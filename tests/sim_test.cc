@@ -1,0 +1,195 @@
+// Unit and property tests for the discrete-event engine and the
+// coroutine layer on top of it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/coro.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace pg::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1, [&] { ran += 1; });
+  EventId doomed = q.schedule_at(2, [&] { ran += 10; });
+  q.schedule_at(3, [&] { ran += 100; });
+  EXPECT_TRUE(q.cancel(doomed));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(ran, 101);
+}
+
+TEST(EventQueue, PropertyNeverRunsOutOfOrder) {
+  Rng rng(1234);
+  EventQueue q;
+  for (int i = 0; i < 2000; ++i) {
+    q.schedule_at(static_cast<SimTime>(rng.next_below(1000)), [] {});
+  }
+  SimTime last = -1;
+  while (!q.empty()) {
+    auto popped = q.pop();
+    EXPECT_GE(popped.time, last);
+    last = popped.time;
+  }
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.schedule(nanoseconds(50), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, nanoseconds(50));
+  EXPECT_EQ(sim.now(), nanoseconds(50));
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule(10, chain);
+  };
+  sim.schedule(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(i * 100, [&] { ++count; });
+  }
+  sim.run_until(500);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 500);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, RunUntilConditionStopsEarly) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(i * 100, [&] { ++count; });
+  }
+  const bool hit = sim.run_until_condition([&] { return count == 3; });
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, EventLimitGuardsAgainstStorms) {
+  Simulation sim;
+  sim.set_event_limit(100);
+  std::function<void()> forever = [&] { sim.schedule(1, forever); };
+  sim.schedule(1, forever);
+  sim.run();
+  EXPECT_TRUE(sim.event_limit_hit());
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulation, ScheduleAtClampsToNow) {
+  Simulation sim;
+  sim.schedule(100, [&] {
+    // Scheduling in the past is clamped to the present, not time travel.
+    sim.schedule_at(5, [&] { EXPECT_EQ(sim.now(), 100); });
+  });
+  sim.run();
+}
+
+// --- Coroutine layer -------------------------------------------------------
+
+SimTask delays_then_sets(Simulation& sim, SimTime& t1, SimTime& t2) {
+  co_await Delay{sim, nanoseconds(100)};
+  t1 = sim.now();
+  co_await Delay{sim, nanoseconds(50)};
+  t2 = sim.now();
+}
+
+TEST(Coro, DelaysAdvanceTime) {
+  Simulation sim;
+  SimTime t1 = -1, t2 = -1;
+  SimTask task = delays_then_sets(sim, t1, t2);
+  sim.run();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(t1, nanoseconds(100));
+  EXPECT_EQ(t2, nanoseconds(150));
+}
+
+SimTask poller(Simulation& sim, const bool& flag, SimTime& when,
+               std::uint64_t& probes) {
+  probes = co_await PollUntil{sim, [&flag] { return flag; },
+                              /*interval=*/nanoseconds(10)};
+  when = sim.now();
+}
+
+TEST(Coro, PollUntilSeesLateFlag) {
+  Simulation sim;
+  bool flag = false;
+  SimTime when = -1;
+  std::uint64_t probes = 0;
+  SimTask task = poller(sim, flag, when, probes);
+  sim.schedule(nanoseconds(95), [&] { flag = true; });
+  sim.run();
+  EXPECT_TRUE(task.done());
+  // Probes at 0,10,...,90 miss; the probe at 100 hits.
+  EXPECT_EQ(when, nanoseconds(100));
+  EXPECT_EQ(probes, 11u);
+}
+
+SimTask waiter(Simulation& sim, Trigger& trig, int& order, int& my_rank) {
+  co_await trig.wait(sim);
+  my_rank = ++order;
+}
+
+TEST(Coro, TriggerWakesAllWaiters) {
+  Simulation sim;
+  Trigger trig;
+  int order = 0;
+  int rank_a = 0, rank_b = 0;
+  SimTask a = waiter(sim, trig, order, rank_a);
+  SimTask b = waiter(sim, trig, order, rank_b);
+  sim.schedule(nanoseconds(30), [&] { trig.fire(); });
+  sim.run();
+  EXPECT_TRUE(a.done());
+  EXPECT_TRUE(b.done());
+  EXPECT_EQ(rank_a + rank_b, 3);  // both woke, in FIFO order 1 and 2
+}
+
+TEST(Coro, WaitOnFiredTriggerContinuesImmediately) {
+  Simulation sim;
+  Trigger trig;
+  trig.fire();
+  int order = 0, rank = 0;
+  SimTask t = waiter(sim, trig, order, rank);
+  sim.run();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(rank, 1);
+}
+
+}  // namespace
+}  // namespace pg::sim

@@ -1,0 +1,196 @@
+// Tests for the PTX-lite text assembler, including the
+// disassemble -> reassemble round-trip property.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gpu/device.h"
+#include "gpu/assembler.h"
+#include "gpu/text_asm.h"
+#include "mem/memory_domain.h"
+#include "pcie/fabric.h"
+#include "sim/simulation.h"
+
+namespace pg::gpu {
+namespace {
+
+TEST(TextAsm, AssemblesBasicProgram) {
+  auto p = assemble_text("basics", R"(
+    # compute (5 + 3) * 2 into [r4]
+    movi r8, 5
+    movi r9, 3
+    add r8, r8, r9
+    muli r8, r8, 2
+    st.u64 [r4+0], r8
+    exit
+  )");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_EQ(p->size(), 6u);
+  EXPECT_EQ(p->at(0).op, Op::kMovI);
+  EXPECT_EQ(p->at(4).op, Op::kSt);
+  EXPECT_EQ(p->at(4).width, 8);
+}
+
+TEST(TextAsm, LabelsAndBranches) {
+  auto p = assemble_text("loop", R"(
+    movi r8, 0
+  loop:
+    addi r8, r8, 1
+    setpi.lt r9, r8, 10
+    bra.if r9, loop
+    exit
+  )");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_EQ(p->at(3).op, Op::kBra);
+  EXPECT_EQ(p->at(3).target, 1);
+}
+
+TEST(TextAsm, NumericTargetsForwardAndBackward) {
+  auto p = assemble_text("numeric", R"(
+    movi r8, 0
+    addi r8, r8, 1
+    setpi.lt r9, r8, 3
+    bra.if r9, 1
+    bra 6
+    nop
+    exit
+  )");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_EQ(p->at(3).target, 1);  // backward
+  EXPECT_EQ(p->at(4).target, 6);  // forward
+}
+
+TEST(TextAsm, MemoryOperandForms) {
+  auto p = assemble_text("mem", R"(
+    ld.u64 r8, [r4+16]
+    ld.u32 r9, [r4-8]
+    ld.u8 r10, [r4]
+    st.u16 [r5+2], r8
+    atom.add r8, [r4+0], r9
+    atom.exch r8, [r4+8], r9
+    exit
+  )");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_EQ(p->at(0).imm, 16);
+  EXPECT_EQ(p->at(1).imm, -8);
+  EXPECT_EQ(p->at(1).width, 4);
+  EXPECT_EQ(p->at(2).imm, 0);
+  EXPECT_EQ(p->at(2).width, 1);
+  EXPECT_EQ(p->at(3).op, Op::kSt);
+  EXPECT_EQ(p->at(4).op, Op::kAtomAdd);
+  EXPECT_EQ(p->at(5).op, Op::kAtomExch);
+}
+
+TEST(TextAsm, SregNamesAndNumbers) {
+  auto p = assemble_text("sregs", R"(
+    sreg r8, tid
+    sreg r9, ctaid
+    sreg r10, clock
+    sreg r11, 3
+    exit
+  )");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_EQ(p->at(0).sreg, Sreg::kTidX);
+  EXPECT_EQ(p->at(2).sreg, Sreg::kClock);
+  EXPECT_EQ(p->at(3).sreg, Sreg::kNctaidX);
+}
+
+TEST(TextAsm, ErrorsCarryLineNumbers) {
+  auto p = assemble_text("bad", "movi r8, 1\nfrobnicate r1\nexit\n");
+  ASSERT_FALSE(p.is_ok());
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos);
+
+  auto q = assemble_text("bad2", "setp.xx r1, r2, r3\nexit\n");
+  ASSERT_FALSE(q.is_ok());
+  EXPECT_NE(q.status().message().find("unknown comparison"),
+            std::string::npos);
+}
+
+TEST(TextAsm, RejectsBadRegistersAndWidths) {
+  EXPECT_FALSE(assemble_text("r", "movi r99, 1\nexit\n").is_ok());
+  EXPECT_FALSE(assemble_text("w", "ld.u3 r1, [r2+0]\nexit\n").is_ok());
+  EXPECT_FALSE(assemble_text("u", "bra nowhere\nexit\n").is_ok());
+}
+
+TEST(TextAsm, AssembledProgramRunsCorrectly) {
+  // End-to-end: text program computes a GCD and stores it.
+  auto p = assemble_text("gcd", R"(
+    # r8 = gcd(252, 105) by subtraction
+    movi r8, 252
+    movi r9, 105
+  loop:
+    setp.eq r10, r8, r9
+    bra.if r10, done
+    setp.gt r10, r8, r9
+    bra.if r10, bigger_a
+    sub r9, r9, r8
+    bra loop
+  bigger_a:
+    sub r8, r8, r9
+    bra loop
+  done:
+    st.u64 [r4+0], r8
+    exit
+  )");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  sim::Simulation sim;
+  mem::MemoryDomain memory;
+  pcie::Fabric fabric(sim, memory, pcie::FabricConfig{});
+  Gpu gpu(sim, fabric, memory, GpuConfig{}, "gpu");
+  const mem::Addr out = mem::AddressMap::kGpuDramBase + 4096;
+  bool done = false;
+  gpu.launch({.program = &p.value(), .params = {out}}, [&] { done = true; });
+  sim.run_until_condition([&] { return done; });
+  sim.run();
+  EXPECT_EQ(memory.read_u64(out), 21u);  // gcd(252, 105)
+}
+
+TEST(TextAsm, PropertyDisassembleReassembleRoundTrip) {
+  // Random programs round-trip through the disassembler and parser with
+  // identical instruction streams.
+  Rng rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    Assembler a("roundtrip");
+    const int len = 5 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < len; ++i) {
+      const auto r = [&] { return Reg(8 + unsigned(rng.next_below(20))); };
+      switch (rng.next_below(12)) {
+        case 0: a.movi(r(), static_cast<std::int64_t>(rng.next_u32())); break;
+        case 1: a.add(r(), r(), r()); break;
+        case 2: a.addi(r(), r(), rng.next_range(-100, 100)); break;
+        case 3: a.xor_(r(), r(), r()); break;
+        case 4: a.bswap64(r(), r()); break;
+        case 5: a.setp(Cmp::kLtU, r(), r(), r()); break;
+        case 6: a.setpi(Cmp::kNe, r(), r(), rng.next_range(0, 50)); break;
+        case 7: a.ld(r(), r(), rng.next_range(0, 64) * 8, 8); break;
+        case 8: a.st(r(), r(), rng.next_range(0, 64) * 8, 4); break;
+        case 9: a.shli(r(), r(), rng.next_range(0, 63)); break;
+        case 10: a.sreg(r(), Sreg::kTidX); break;
+        case 11: a.mul(r(), r(), r()); break;
+      }
+    }
+    a.exit();
+    auto original = a.finish();
+    ASSERT_TRUE(original.is_ok());
+    const std::string text = original->disassemble();
+    // Drop the "name:" header line the disassembler prints.
+    const std::string body = text.substr(text.find('\n') + 1);
+    auto reparsed = assemble_text("roundtrip", body);
+    ASSERT_TRUE(reparsed.is_ok())
+        << reparsed.status().to_string() << "\n" << body;
+    ASSERT_EQ(reparsed->size(), original->size());
+    for (std::size_t i = 0; i < original->size(); ++i) {
+      const Instr& x = original->at(i);
+      const Instr& y = reparsed->at(i);
+      ASSERT_EQ(x.op, y.op) << "instr " << i;
+      ASSERT_EQ(x.rd, y.rd) << "instr " << i;
+      ASSERT_EQ(x.ra, y.ra) << "instr " << i;
+      ASSERT_EQ(x.rb, y.rb) << "instr " << i;
+      ASSERT_EQ(x.width, y.width) << "instr " << i;
+      ASSERT_EQ(x.imm, y.imm) << "instr " << i;
+      ASSERT_EQ(x.target, y.target) << "instr " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pg::gpu
