@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_p2p.dir/ablation_p2p.cc.o"
+  "CMakeFiles/ablation_p2p.dir/ablation_p2p.cc.o.d"
+  "ablation_p2p"
+  "ablation_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wqe_swap.dir/ablation_wqe_swap.cc.o"
+  "CMakeFiles/ablation_wqe_swap.dir/ablation_wqe_swap.cc.o.d"
+  "ablation_wqe_swap"
+  "ablation_wqe_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wqe_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_future_api.dir/extension_future_api.cc.o"
+  "CMakeFiles/extension_future_api.dir/extension_future_api.cc.o.d"
+  "extension_future_api"
+  "extension_future_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_future_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_extoll_bandwidth.dir/fig1_extoll_bandwidth.cc.o"
+  "CMakeFiles/fig1_extoll_bandwidth.dir/fig1_extoll_bandwidth.cc.o.d"
+  "fig1_extoll_bandwidth"
+  "fig1_extoll_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_extoll_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

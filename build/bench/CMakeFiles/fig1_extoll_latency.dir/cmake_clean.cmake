@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_extoll_latency.dir/fig1_extoll_latency.cc.o"
+  "CMakeFiles/fig1_extoll_latency.dir/fig1_extoll_latency.cc.o.d"
+  "fig1_extoll_latency"
+  "fig1_extoll_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_extoll_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_extoll_msgrate.dir/fig2_extoll_msgrate.cc.o"
+  "CMakeFiles/fig2_extoll_msgrate.dir/fig2_extoll_msgrate.cc.o.d"
+  "fig2_extoll_msgrate"
+  "fig2_extoll_msgrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_extoll_msgrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

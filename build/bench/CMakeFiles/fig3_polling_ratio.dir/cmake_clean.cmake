@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_polling_ratio.dir/fig3_polling_ratio.cc.o"
+  "CMakeFiles/fig3_polling_ratio.dir/fig3_polling_ratio.cc.o.d"
+  "fig3_polling_ratio"
+  "fig3_polling_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_polling_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ib_bandwidth.dir/fig4_ib_bandwidth.cc.o"
+  "CMakeFiles/fig4_ib_bandwidth.dir/fig4_ib_bandwidth.cc.o.d"
+  "fig4_ib_bandwidth"
+  "fig4_ib_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ib_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

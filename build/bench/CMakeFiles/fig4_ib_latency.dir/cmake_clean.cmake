@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ib_latency.dir/fig4_ib_latency.cc.o"
+  "CMakeFiles/fig4_ib_latency.dir/fig4_ib_latency.cc.o.d"
+  "fig4_ib_latency"
+  "fig4_ib_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ib_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

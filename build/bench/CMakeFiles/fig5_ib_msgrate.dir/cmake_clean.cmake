@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ib_msgrate.dir/fig5_ib_msgrate.cc.o"
+  "CMakeFiles/fig5_ib_msgrate.dir/fig5_ib_msgrate.cc.o.d"
+  "fig5_ib_msgrate"
+  "fig5_ib_msgrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ib_msgrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_verbs_instructions.dir/micro_verbs_instructions.cc.o"
+  "CMakeFiles/micro_verbs_instructions.dir/micro_verbs_instructions.cc.o.d"
+  "micro_verbs_instructions"
+  "micro_verbs_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_verbs_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_perf.dir/simcore_perf.cc.o"
+  "CMakeFiles/simcore_perf.dir/simcore_perf.cc.o.d"
+  "simcore_perf"
+  "simcore_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

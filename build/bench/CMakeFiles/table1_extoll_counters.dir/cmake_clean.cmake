@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_extoll_counters.dir/table1_extoll_counters.cc.o"
+  "CMakeFiles/table1_extoll_counters.dir/table1_extoll_counters.cc.o.d"
+  "table1_extoll_counters"
+  "table1_extoll_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_extoll_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

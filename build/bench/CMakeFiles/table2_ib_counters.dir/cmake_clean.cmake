@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ib_counters.dir/table2_ib_counters.cc.o"
+  "CMakeFiles/table2_ib_counters.dir/table2_ib_counters.cc.o.d"
+  "table2_ib_counters"
+  "table2_ib_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ib_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

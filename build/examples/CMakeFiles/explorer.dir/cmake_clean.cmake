@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explorer.dir/explorer.cpp.o"
+  "CMakeFiles/explorer.dir/explorer.cpp.o.d"
+  "explorer"
+  "explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

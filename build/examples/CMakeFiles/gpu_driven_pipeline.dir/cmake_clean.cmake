@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_driven_pipeline.dir/gpu_driven_pipeline.cpp.o"
+  "CMakeFiles/gpu_driven_pipeline.dir/gpu_driven_pipeline.cpp.o.d"
+  "gpu_driven_pipeline"
+  "gpu_driven_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_driven_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

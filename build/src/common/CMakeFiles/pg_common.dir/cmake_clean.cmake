@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_common.dir/log.cc.o"
+  "CMakeFiles/pg_common.dir/log.cc.o.d"
+  "CMakeFiles/pg_common.dir/status.cc.o"
+  "CMakeFiles/pg_common.dir/status.cc.o.d"
+  "libpg_common.a"
+  "libpg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpg_common.a"
+)

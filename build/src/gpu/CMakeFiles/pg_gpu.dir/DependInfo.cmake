@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/assembler.cc" "src/gpu/CMakeFiles/pg_gpu.dir/assembler.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/assembler.cc.o.d"
+  "/root/repo/src/gpu/counters.cc" "src/gpu/CMakeFiles/pg_gpu.dir/counters.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/counters.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/gpu/CMakeFiles/pg_gpu.dir/device.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/device.cc.o.d"
+  "/root/repo/src/gpu/l2cache.cc" "src/gpu/CMakeFiles/pg_gpu.dir/l2cache.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/l2cache.cc.o.d"
+  "/root/repo/src/gpu/program.cc" "src/gpu/CMakeFiles/pg_gpu.dir/program.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/program.cc.o.d"
+  "/root/repo/src/gpu/text_asm.cc" "src/gpu/CMakeFiles/pg_gpu.dir/text_asm.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/text_asm.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/gpu/CMakeFiles/pg_gpu.dir/warp.cc.o" "gcc" "src/gpu/CMakeFiles/pg_gpu.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/pg_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

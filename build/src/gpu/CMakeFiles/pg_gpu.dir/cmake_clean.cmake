@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_gpu.dir/assembler.cc.o"
+  "CMakeFiles/pg_gpu.dir/assembler.cc.o.d"
+  "CMakeFiles/pg_gpu.dir/counters.cc.o"
+  "CMakeFiles/pg_gpu.dir/counters.cc.o.d"
+  "CMakeFiles/pg_gpu.dir/device.cc.o"
+  "CMakeFiles/pg_gpu.dir/device.cc.o.d"
+  "CMakeFiles/pg_gpu.dir/l2cache.cc.o"
+  "CMakeFiles/pg_gpu.dir/l2cache.cc.o.d"
+  "CMakeFiles/pg_gpu.dir/program.cc.o"
+  "CMakeFiles/pg_gpu.dir/program.cc.o.d"
+  "CMakeFiles/pg_gpu.dir/text_asm.cc.o"
+  "CMakeFiles/pg_gpu.dir/text_asm.cc.o.d"
+  "CMakeFiles/pg_gpu.dir/warp.cc.o"
+  "CMakeFiles/pg_gpu.dir/warp.cc.o.d"
+  "libpg_gpu.a"
+  "libpg_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_mem.dir/address_map.cc.o"
+  "CMakeFiles/pg_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/pg_mem.dir/registration.cc.o"
+  "CMakeFiles/pg_mem.dir/registration.cc.o.d"
+  "CMakeFiles/pg_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/pg_mem.dir/sparse_memory.cc.o.d"
+  "libpg_mem.a"
+  "libpg_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

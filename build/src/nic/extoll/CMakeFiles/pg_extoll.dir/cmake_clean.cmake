@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_extoll.dir/rma_unit.cc.o"
+  "CMakeFiles/pg_extoll.dir/rma_unit.cc.o.d"
+  "libpg_extoll.a"
+  "libpg_extoll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_extoll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_ib.dir/hca.cc.o"
+  "CMakeFiles/pg_ib.dir/hca.cc.o.d"
+  "libpg_ib.a"
+  "libpg_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

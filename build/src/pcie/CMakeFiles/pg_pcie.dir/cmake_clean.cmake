@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_pcie.dir/dma.cc.o"
+  "CMakeFiles/pg_pcie.dir/dma.cc.o.d"
+  "CMakeFiles/pg_pcie.dir/fabric.cc.o"
+  "CMakeFiles/pg_pcie.dir/fabric.cc.o.d"
+  "CMakeFiles/pg_pcie.dir/p2p.cc.o"
+  "CMakeFiles/pg_pcie.dir/p2p.cc.o.d"
+  "libpg_pcie.a"
+  "libpg_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

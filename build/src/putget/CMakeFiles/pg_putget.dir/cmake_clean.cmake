@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_putget.dir/device_lib.cc.o"
+  "CMakeFiles/pg_putget.dir/device_lib.cc.o.d"
+  "CMakeFiles/pg_putget.dir/extoll_experiments.cc.o"
+  "CMakeFiles/pg_putget.dir/extoll_experiments.cc.o.d"
+  "CMakeFiles/pg_putget.dir/extoll_host.cc.o"
+  "CMakeFiles/pg_putget.dir/extoll_host.cc.o.d"
+  "CMakeFiles/pg_putget.dir/gpu_aware.cc.o"
+  "CMakeFiles/pg_putget.dir/gpu_aware.cc.o.d"
+  "CMakeFiles/pg_putget.dir/ib_experiments.cc.o"
+  "CMakeFiles/pg_putget.dir/ib_experiments.cc.o.d"
+  "CMakeFiles/pg_putget.dir/ib_host.cc.o"
+  "CMakeFiles/pg_putget.dir/ib_host.cc.o.d"
+  "CMakeFiles/pg_putget.dir/modes.cc.o"
+  "CMakeFiles/pg_putget.dir/modes.cc.o.d"
+  "CMakeFiles/pg_putget.dir/setup.cc.o"
+  "CMakeFiles/pg_putget.dir/setup.cc.o.d"
+  "libpg_putget.a"
+  "libpg_putget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_putget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

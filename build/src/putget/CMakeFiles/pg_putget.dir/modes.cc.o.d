@@ -1,0 +1,3 @@
+src/putget/CMakeFiles/pg_putget.dir/modes.cc.o: \
+ /root/repo/src/putget/modes.cc /usr/include/stdc-predef.h \
+ /root/repo/src/putget/modes.h

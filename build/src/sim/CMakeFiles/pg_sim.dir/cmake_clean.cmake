@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pg_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pg_sim.dir/simulation.cc.o"
+  "CMakeFiles/pg_sim.dir/simulation.cc.o.d"
+  "libpg_sim.a"
+  "libpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

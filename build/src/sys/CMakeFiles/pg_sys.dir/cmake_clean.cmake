@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_sys.dir/cluster.cc.o"
+  "CMakeFiles/pg_sys.dir/cluster.cc.o.d"
+  "CMakeFiles/pg_sys.dir/node.cc.o"
+  "CMakeFiles/pg_sys.dir/node.cc.o.d"
+  "CMakeFiles/pg_sys.dir/testbed.cc.o"
+  "CMakeFiles/pg_sys.dir/testbed.cc.o.d"
+  "libpg_sys.a"
+  "libpg_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

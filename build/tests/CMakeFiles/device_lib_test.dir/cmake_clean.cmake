@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_lib_test.dir/device_lib_test.cc.o"
+  "CMakeFiles/device_lib_test.dir/device_lib_test.cc.o.d"
+  "device_lib_test"
+  "device_lib_test.pdb"
+  "device_lib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_lib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extoll_test.dir/extoll_test.cc.o"
+  "CMakeFiles/extoll_test.dir/extoll_test.cc.o.d"
+  "extoll_test"
+  "extoll_test.pdb"
+  "extoll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extoll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_aware_test.dir/gpu_aware_test.cc.o"
+  "CMakeFiles/gpu_aware_test.dir/gpu_aware_test.cc.o.d"
+  "gpu_aware_test"
+  "gpu_aware_test.pdb"
+  "gpu_aware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

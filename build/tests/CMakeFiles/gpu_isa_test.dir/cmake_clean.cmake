@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_isa_test.dir/gpu_isa_test.cc.o"
+  "CMakeFiles/gpu_isa_test.dir/gpu_isa_test.cc.o.d"
+  "gpu_isa_test"
+  "gpu_isa_test.pdb"
+  "gpu_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

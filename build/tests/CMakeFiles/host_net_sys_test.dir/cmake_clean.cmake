@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_net_sys_test.dir/host_net_sys_test.cc.o"
+  "CMakeFiles/host_net_sys_test.dir/host_net_sys_test.cc.o.d"
+  "host_net_sys_test"
+  "host_net_sys_test.pdb"
+  "host_net_sys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_net_sys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_experiments_test.dir/ib_experiments_test.cc.o"
+  "CMakeFiles/ib_experiments_test.dir/ib_experiments_test.cc.o.d"
+  "ib_experiments_test"
+  "ib_experiments_test.pdb"
+  "ib_experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_test.dir/ib_test.cc.o"
+  "CMakeFiles/ib_test.dir/ib_test.cc.o.d"
+  "ib_test"
+  "ib_test.pdb"
+  "ib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

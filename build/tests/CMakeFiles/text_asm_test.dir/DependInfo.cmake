@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text_asm_test.cc" "tests/CMakeFiles/text_asm_test.dir/text_asm_test.cc.o" "gcc" "tests/CMakeFiles/text_asm_test.dir/text_asm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/pg_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/pg_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

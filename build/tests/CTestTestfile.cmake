@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/pcie_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_isa_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_device_test[1]_include.cmake")
+include("/root/repo/build/tests/extoll_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_test[1]_include.cmake")
+include("/root/repo/build/tests/extoll_experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/device_lib_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_aware_test[1]_include.cmake")
+include("/root/repo/build/tests/host_net_sys_test[1]_include.cmake")
+include("/root/repo/build/tests/text_asm_test[1]_include.cmake")
