@@ -12,7 +12,8 @@
 #include "putget/extoll_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::TransferMode;
   bench::print_title("Ablation - PCIe peer-to-peer read model",
@@ -35,7 +36,7 @@ int main() {
     }
     table.add_row(bench::size_label(size), {on.mb_per_s, off.mb_per_s});
   }
-  table.print();
+  session.emit("ablation-p2p", table);
   std::printf("With the model ON, bandwidth degrades past 1M (page-context"
               " thrash);\nwith it OFF the curve is flat at the link/core"
               " limit - the drop is the fabric, not the NIC.\n");

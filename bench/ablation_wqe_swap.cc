@@ -72,8 +72,9 @@ std::uint64_t count_post_instructions(bool preswap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
+  bench::Session session(argc, argv);
   bench::print_title("Ablation - WQE endian-conversion strategy",
                      "device-side ibv_post_send instruction count");
   const std::uint64_t per_post = count_post_instructions(false);
@@ -87,5 +88,9 @@ int main() {
               "notes they must.\n",
               static_cast<long long>(per_post) -
                   static_cast<long long>(preswapped));
+  bench::SeriesTable jt("strategy", {"instructions"});
+  jt.add_row("per-post conversion", {static_cast<double>(per_post)});
+  jt.add_row("pre-converted statics", {static_cast<double>(preswapped)});
+  session.record("ablation-wqe-swap", jt);
   return 0;
 }

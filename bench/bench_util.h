@@ -3,11 +3,24 @@
 // Every bench prints a self-describing table: the paper artifact it
 // regenerates, the sweep axis, and one column per configuration. Output
 // is whitespace-aligned for humans and trivially machine-parsable.
+//
+// Benches also accept two optional observability flags:
+//   --trace=FILE   write a Chrome trace-event JSON (open in Perfetto)
+//   --json=FILE    write every emitted table plus the metrics snapshot
+// Wrap main's body in a Session; with neither flag given the sinks stay
+// detached and the stdout table output is byte-identical to a build
+// without observability.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::bench {
 
@@ -43,6 +56,33 @@ class SeriesTable {
     std::printf("\n");
   }
 
+  /// The same series as a JSON object:
+  ///   {"axis":"size","columns":[...],"rows":[{"x":"64","values":[...]}]}
+  void print_json(FILE* out) const {
+    std::string s;
+    s += "{\"axis\":";
+    s += obs::json_string(axis_);
+    s += ",\"columns\":[";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) s += ',';
+      s += obs::json_string(columns_[i]);
+    }
+    s += "],\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i) s += ',';
+      s += "{\"x\":";
+      s += obs::json_string(rows_[i].x);
+      s += ",\"values\":[";
+      for (std::size_t j = 0; j < rows_[i].values.size(); ++j) {
+        if (j) s += ',';
+        s += obs::json_double(rows_[i].values[j]);
+      }
+      s += "]}";
+    }
+    s += "]}";
+    std::fputs(s.c_str(), out);
+  }
+
  private:
   struct Row {
     std::string x;
@@ -53,20 +93,125 @@ class SeriesTable {
   std::vector<Row> rows_;
 };
 
-/// Human-readable byte size ("64", "4K", "1M").
-inline std::string size_label(std::uint64_t bytes) {
-  char buf[32];
-  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
-    std::snprintf(buf, sizeof(buf), "%lluM",
-                  static_cast<unsigned long long>(bytes / (1024 * 1024)));
-  } else if (bytes >= 1024 && bytes % 1024 == 0) {
-    std::snprintf(buf, sizeof(buf), "%lluK",
-                  static_cast<unsigned long long>(bytes / 1024));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(bytes));
+/// Scales `value` down by unit steps of 1024 while it divides evenly,
+/// then renders it with the reached suffix ("", "K", "M", "G").
+inline std::string format_scaled(std::uint64_t value) {
+  static const char* const kSuffixes[] = {"", "K", "M"};
+  std::size_t step = 0;
+  while (step + 1 < sizeof(kSuffixes) / sizeof(kSuffixes[0]) &&
+         value >= 1024 && value % 1024 == 0) {
+    value /= 1024;
+    ++step;
   }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu%s",
+                static_cast<unsigned long long>(value), kSuffixes[step]);
   return buf;
 }
+
+/// Human-readable byte size ("64", "4K", "1M").
+inline std::string size_label(std::uint64_t bytes) {
+  return format_scaled(bytes);
+}
+
+/// Per-bench observability session.
+///
+/// Parses --trace=FILE / --json=FILE from argv; when present, attaches a
+/// TraceRecorder / MetricsRegistry for the duration of the bench and
+/// writes the files in the destructor. `emit` both prints the table to
+/// stdout (exactly like SeriesTable::print) and records it for the
+/// --json output, so the text table and the JSON series always agree.
+class Session {
+ public:
+  Session(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--trace=", 8) == 0) {
+        trace_path_ = a + 8;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        json_path_ = a + 7;
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s' (expected --trace=FILE or "
+                     "--json=FILE)\n",
+                     a);
+      }
+    }
+    if (!trace_path_.empty()) {
+      recorder_ = new obs::TraceRecorder();
+      obs::attach_recorder(recorder_);
+    }
+    if (!trace_path_.empty() || !json_path_.empty()) {
+      metrics_ = new obs::MetricsRegistry();
+      obs::attach_metrics(metrics_);
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    if (recorder_) {
+      if (FILE* f = std::fopen(trace_path_.c_str(), "w")) {
+        recorder_->write_json(f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write trace file '%s'\n",
+                     trace_path_.c_str());
+      }
+      obs::attach_recorder(nullptr);
+      delete recorder_;
+    }
+    if (!json_path_.empty()) {
+      if (FILE* f = std::fopen(json_path_.c_str(), "w")) {
+        std::fputs("{\"tables\":[", f);
+        for (std::size_t i = 0; i < tables_.size(); ++i) {
+          if (i) std::fputc(',', f);
+          std::fputs("{\"name\":", f);
+          const std::string name = obs::json_string(tables_[i].first);
+          std::fputs(name.c_str(), f);
+          std::fputs(",\"series\":", f);
+          tables_[i].second.print_json(f);
+          std::fputc('}', f);
+        }
+        std::fputs("],\"metrics\":", f);
+        if (metrics_) {
+          metrics_->write_json(f);
+        } else {
+          std::fputs("{}", f);
+        }
+        std::fputs("}\n", f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write json file '%s'\n",
+                     json_path_.c_str());
+      }
+    }
+    if (metrics_) {
+      obs::attach_metrics(nullptr);
+      delete metrics_;
+    }
+  }
+
+  /// Prints the table to stdout and records a copy for --json.
+  void emit(const std::string& name, const SeriesTable& table,
+            const char* fmt = "%12.2f") {
+    table.print(fmt);
+    record(name, table);
+  }
+
+  /// Records a table for --json without printing (for benches with
+  /// custom text output, e.g. the counter tables).
+  void record(const std::string& name, const SeriesTable& table) {
+    if (!json_path_.empty()) tables_.emplace_back(name, table);
+  }
+
+ private:
+  std::string trace_path_;
+  std::string json_path_;
+  obs::TraceRecorder* recorder_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<std::pair<std::string, SeriesTable>> tables_;
+};
 
 }  // namespace pg::bench

@@ -17,10 +17,12 @@
 #include "putget/ib_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   using putget::QueueLocation;
   using putget::TransferMode;
+  bench::Session session(argc, argv);
+  bench::SeriesTable jt("variant", {"half RTT [us]", "posting sum [us]"});
   bench::print_title("Extension - the paper's Sec. VI claims, implemented",
                      "GPU-aware interface prototypes vs. the ported APIs");
 
@@ -45,6 +47,9 @@ int main() {
     std::printf("  -> posting cost x%.1f lower, latency x%.2f lower\n\n",
                 classic.post_sum_us / warp.post_sum_us,
                 classic.half_rtt_us / warp.half_rtt_us);
+    jt.add_row("ib-single-thread", {classic.half_rtt_us,
+                                    classic.post_sum_us});
+    jt.add_row("ib-warp-collab", {warp.half_rtt_us, warp.post_sum_us});
   }
 
   // --- Claim 3: notification queues in GPU memory (EXTOLL). --------------
@@ -73,10 +78,13 @@ int main() {
     std::printf("  -> latency x%.2f lower; notification polling became "
                 "device-local L2 traffic\n\n",
                 sysq.half_rtt_us / gpuq.half_rtt_us);
+    jt.add_row("extoll-sysmem-notif", {sysq.half_rtt_us, 0.0});
+    jt.add_row("extoll-gpumem-notif", {gpuq.half_rtt_us, 0.0});
   }
 
   std::printf("(claim 1 - minimal footprint - the relocated queues are the "
               "only device-memory\n cost: 2 queues x 1024 x 16 B per "
               "port.)\n");
+  session.record("extension-future-api", jt);
   return 0;
 }

@@ -10,7 +10,8 @@
 #include "putget/extoll_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::TransferMode;
   bench::print_title("Fig 1b - EXTOLL RMA streaming bandwidth [MB/s]",
@@ -40,6 +41,6 @@ int main() {
     }
     table.add_row(bench::size_label(size), row);
   }
-  table.print();
+  session.emit("fig1b-extoll-bandwidth", table);
   return 0;
 }

@@ -11,7 +11,8 @@
 #include "putget/extoll_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::TransferMode;
   bench::print_title(
@@ -39,6 +40,6 @@ int main() {
     }
     table.add_row(bench::size_label(size), row);
   }
-  table.print();
+  session.emit("fig1a-extoll-latency", table);
   return 0;
 }

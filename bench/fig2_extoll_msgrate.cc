@@ -12,7 +12,8 @@
 #include "putget/extoll_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::RateVariant;
   bench::print_title("Fig 2 - EXTOLL message rate [msgs/s], 64 B puts",
@@ -38,6 +39,6 @@ int main() {
     }
     table.add_row(std::to_string(pairs), row);
   }
-  table.print("%12.0f");
+  session.emit("fig2-extoll-msgrate", table, "%12.0f");
   return 0;
 }

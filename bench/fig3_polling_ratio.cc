@@ -12,7 +12,8 @@
 #include "putget/extoll_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::TransferMode;
   bench::print_title(
@@ -40,6 +41,6 @@ int main() {
         devm.post_sum_us > 0 ? devm.poll_sum_us / devm.post_sum_us : 0;
     table.add_row(bench::size_label(size), {sys_ratio, dev_ratio});
   }
-  table.print();
+  session.emit("fig3-polling-ratio", table);
   return 0;
 }

@@ -9,7 +9,8 @@
 #include "putget/ib_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::QueueLocation;
   using putget::TransferMode;
@@ -45,6 +46,6 @@ int main() {
     }
     table.add_row(bench::size_label(size), row);
   }
-  table.print();
+  session.emit("fig4b-ib-bandwidth", table);
   return 0;
 }

@@ -11,7 +11,8 @@
 #include "putget/ib_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::QueueLocation;
   using putget::TransferMode;
@@ -44,6 +45,6 @@ int main() {
     }
     table.add_row(bench::size_label(size), row);
   }
-  table.print();
+  session.emit("fig4a-ib-latency", table);
   return 0;
 }

@@ -11,7 +11,8 @@
 #include "putget/ib_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::RateVariant;
   bench::print_title("Fig 5 - InfiniBand message rate [msgs/s], 64 B writes",
@@ -37,6 +38,6 @@ int main() {
     }
     table.add_row(std::to_string(pairs), row);
   }
-  table.print("%12.0f");
+  session.emit("fig5-ib-msgrate", table, "%12.0f");
   return 0;
 }

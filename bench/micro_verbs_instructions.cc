@@ -13,10 +13,14 @@
 #include "putget/ib_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
+  bench::Session session(argc, argv);
   bench::print_title("Sec V-B.3 - device-side verbs instruction counts",
                      "single ibv_post_send / single successful ibv_poll_cq");
+  bench::SeriesTable jt("call", {"bufOnGPU instr", "bufOnGPU mem",
+                                 "bufOnHost instr", "bufOnHost mem"});
+  std::vector<double> post_row, poll_row;
   for (auto loc : {putget::QueueLocation::kGpuMemory,
                    putget::QueueLocation::kHostMemory}) {
     const auto counts =
@@ -31,6 +35,13 @@ int main() {
                 "accesses   (paper: 283 instructions)\n",
                 static_cast<unsigned long long>(counts.poll_cq_instructions),
                 static_cast<unsigned long long>(counts.poll_cq_mem_accesses));
+    post_row.push_back(static_cast<double>(counts.post_send_instructions));
+    post_row.push_back(static_cast<double>(counts.post_send_mem_accesses));
+    poll_row.push_back(static_cast<double>(counts.poll_cq_instructions));
+    poll_row.push_back(static_cast<double>(counts.poll_cq_mem_accesses));
   }
+  jt.add_row("ibv_post_send", post_row);
+  jt.add_row("ibv_poll_cq", poll_row);
+  session.record("micro-verbs-instructions", jt);
   return 0;
 }

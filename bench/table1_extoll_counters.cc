@@ -12,9 +12,10 @@
 #include "putget/extoll_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   using putget::TransferMode;
+  bench::Session session(argc, argv);
   bench::print_title("Table I - polling approaches, EXTOLL RMA",
                      "ping-pong, 100 iterations, 1 KiB payload");
   const auto cfg = sys::extoll_testbed();
@@ -65,5 +66,16 @@ int main() {
   std::printf("\nlatency: system-memory polling %.2f us, device-memory "
               "polling %.2f us (half RTT)\n",
               sysmem.half_rtt_us, devmem.half_rtt_us);
+  bench::SeriesTable jt("metric", {"system memory", "device memory",
+                                   "paper sys", "paper dev"});
+  for (const auto& r : rows) {
+    jt.add_row(r.metric,
+               {static_cast<double>(r.sys), static_cast<double>(r.dev),
+                static_cast<double>(r.paper_sys),
+                static_cast<double>(r.paper_dev)});
+  }
+  jt.add_row("half RTT latency [us]",
+             {sysmem.half_rtt_us, devmem.half_rtt_us, 0.0, 0.0});
+  session.record("table1-extoll-counters", jt);
   return 0;
 }

@@ -11,10 +11,11 @@
 #include "putget/ib_experiments.h"
 #include "sys/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   using putget::QueueLocation;
   using putget::TransferMode;
+  bench::Session session(argc, argv);
   bench::print_title("Table II - buffer placement, InfiniBand Verbs",
                      "ping-pong, 100 iterations, 1 KiB payload");
   const auto cfg = sys::ib_testbed();
@@ -65,5 +66,16 @@ int main() {
               static_cast<unsigned long long>(h.memory_accesses / 100));
   std::printf("latency: bufOnHost %.2f us, bufOnGPU %.2f us (half RTT)\n",
               on_host.half_rtt_us, on_gpu.half_rtt_us);
+  bench::SeriesTable jt("metric", {"buffer on host", "buffer on GPU",
+                                   "paper host", "paper gpu"});
+  for (const auto& r : rows) {
+    jt.add_row(r.metric,
+               {static_cast<double>(r.host), static_cast<double>(r.gpu),
+                static_cast<double>(r.paper_host),
+                static_cast<double>(r.paper_gpu)});
+  }
+  jt.add_row("half RTT latency [us]",
+             {on_host.half_rtt_us, on_gpu.half_rtt_us, 0.0, 0.0});
+  session.record("table2-ib-counters", jt);
   return 0;
 }

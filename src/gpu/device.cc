@@ -6,6 +6,8 @@
 
 #include "common/bitops.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::gpu {
 
@@ -40,6 +42,7 @@ struct Gpu::LaunchState {
   KernelLaunch kl;
   DoneFn done;
   std::uint32_t blocks_remaining = 0;
+  SimTime t_launch = 0;  // host-side launch time (observability span)
 };
 
 struct Gpu::BlockState {
@@ -92,6 +95,7 @@ void Gpu::launch(const KernelLaunch& kl, DoneFn done) {
   ls->kl = kl;
   ls->done = std::move(done);
   ls->blocks_remaining = kl.blocks;
+  ls->t_launch = sim_.now();
   sim_.schedule(cfg_.launch_overhead, [this, ls] { start_launch(ls); });
 }
 
@@ -180,6 +184,18 @@ void Gpu::retire_warp(const std::shared_ptr<WarpExec>& w, SimDuration dt) {
       sim_.schedule(dt, [this, ls] {
         assert(active_kernels_ > 0);
         --active_kernels_;
+        if (obs::metrics()) {
+          obs::count("gpu.kernels");
+          obs::observe("gpu.kernel_ns",
+                       static_cast<std::uint64_t>(
+                           to_ns(sim_.now() - ls->t_launch)));
+        }
+        if (obs::enabled()) {
+          obs::span(name_.c_str(), "kernel", "kernel", ls->t_launch,
+                    sim_.now(),
+                    {{"blocks", ls->kl.blocks},
+                     {"threads_per_block", ls->kl.threads_per_block}});
+        }
         if (ls->done) ls->done();
       });
     }
@@ -284,6 +300,14 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
     }
     const SimDuration latency =
         cycles(cfg_.l2_hit_cycles + (all_hit ? 0 : cfg_.dram_extra_cycles));
+    if (obs::metrics()) {
+      obs::count("gpu.l2_loads");
+      if (!all_hit) obs::count("gpu.l2_load_misses");
+    }
+    if (obs::enabled()) {
+      obs::instant(name_.c_str(), "poll", "l2-read", sim_.now() + dt,
+                   {{"addr", lanes.front().addr}, {"hit", all_hit}});
+    }
     // Sample at completion: NIC writes landing during the access latency
     // are observed, matching hardware where the L2 serves the request.
     sim_.schedule(dt + latency, [this, w, lanes, &in] {
@@ -305,6 +329,13 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
     }
     unique_sorted(sectors);
     counters_.sysmem_read_transactions += sectors.size();
+    if (obs::metrics()) {
+      obs::count("gpu.sysmem_loads");
+    }
+    if (obs::enabled()) {
+      obs::instant(name_.c_str(), "poll", "sysmem-read", sim_.now() + dt,
+                   {{"addr", lanes.front().addr}, {"lanes", lanes.size()}});
+    }
     auto pending = std::make_shared<std::size_t>(lanes.size());
     // Zero-copy path overhead (GPU MMU / BAR window) before the request
     // reaches the fabric.

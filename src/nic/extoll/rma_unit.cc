@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::extoll {
 
@@ -166,6 +168,17 @@ void ExtollNic::post_work_request(const WorkRequest& wr) {
     return;
   }
   port.gated = true;
+  port.wr_posted_at = sim_.now();
+  if (obs::metrics()) {
+    obs::count(wr.cmd == RmaCmd::kPut ? "extoll.puts_posted"
+                                      : "extoll.gets_posted");
+  }
+  if (obs::enabled()) {
+    obs::instant(name_.c_str(), "rma", "wr-posted", sim_.now(),
+                 {{"port", wr.port},
+                  {"cmd", wr.cmd == RmaCmd::kPut ? "put" : "get"},
+                  {"size", wr.size}});
+  }
   requester_fifo_.push_back(wr);
   pump_requester();
 }
@@ -273,6 +286,15 @@ void ExtollNic::execute_get(const WorkRequest& wr) {
 void ExtollNic::requester_finished(const WorkRequest& wr) {
   PortState& port = ports_[wr.port];
   port.gated = false;  // the requester page can take the next WR
+  if (obs::metrics()) {
+    obs::observe("extoll.wr_requester_ns",
+                 static_cast<std::uint64_t>(
+                     to_ns(sim_.now() - port.wr_posted_at)));
+  }
+  if (obs::enabled()) {
+    obs::span(name_.c_str(), "rma", "wr-requester", port.wr_posted_at,
+              sim_.now(), {{"port", wr.port}, {"size", wr.size}});
+  }
   if (wr.notify_requester) {
     Notification n;
     n.unit = NotifyUnit::kRequester;
@@ -324,6 +346,11 @@ void ExtollNic::handle_put_segment(const Frame& f) {
     dma_->write(dst, f.payload, [this, f] {
       if (!f.last) return;
       ++puts_completed_;
+      if (obs::metrics()) obs::count("extoll.puts_completed");
+      if (obs::enabled()) {
+        obs::instant(name_.c_str(), "rma", "put-complete", sim_.now(),
+                     {{"port", f.port}, {"size", f.total_size}});
+      }
       PortState& port = ports_[f.port];
       if (f.notify_completer && port.opened) {
         Notification n;
@@ -412,6 +439,11 @@ void ExtollNic::handle_get_response(const Frame& f) {
     dma_->write(dst, f.payload, [this, f] {
       if (!f.last) return;
       ++gets_completed_;
+      if (obs::metrics()) obs::count("extoll.gets_completed");
+      if (obs::enabled()) {
+        obs::instant(name_.c_str(), "rma", "get-complete", sim_.now(),
+                     {{"port", f.port}, {"size", f.total_size}});
+      }
       PortState& port = ports_[f.port];
       if (f.notify_completer && port.opened) {
         Notification n;
@@ -431,7 +463,6 @@ void ExtollNic::handle_get_response(const Frame& f) {
 
 void ExtollNic::write_notification(PortState& port, NotifQueue& queue,
                                    const Notification& n) {
-  (void)port;
   // The NIC sees read-pointer updates as MMIO writes from the consumer;
   // modelled as a zero-time peek of the pointer cell.
   const std::uint32_t rp = memory_.read_u32(queue.rp_addr);
@@ -450,9 +481,39 @@ void ExtollNic::write_notification(PortState& port, NotifQueue& queue,
   std::memcpy(bytes.data(), &w0, 8);
   std::memcpy(bytes.data() + 8, &w1, 8);
   ++notifications_written_;
+  // When a sink is attached, ride the delivery callback to mark the moment
+  // the notification lands in host memory (the consumer's poll target).
+  std::function<void()> on_delivered;
+  if (obs::enabled() || obs::metrics()) {
+    const bool requester = n.unit == NotifyUnit::kRequester;
+    const SimTime t_posted = port.wr_posted_at;
+    const std::uint8_t nport = n.port;
+    const std::uint32_t nsize = n.size;
+    on_delivered = [this, requester, t_posted, nport, nsize] {
+      if (obs::metrics()) {
+        obs::count("extoll.notifications");
+        if (requester) {
+          obs::observe("extoll.wr_to_notify_ns",
+                       static_cast<std::uint64_t>(
+                           to_ns(sim_.now() - t_posted)));
+        }
+      }
+      if (obs::enabled()) {
+        if (requester) {
+          obs::span(name_.c_str(), "rma", "wr-to-notify", t_posted,
+                    sim_.now(), {{"port", nport}, {"size", nsize}});
+        } else {
+          obs::instant(name_.c_str(), "rma", "cmp-notify-delivered",
+                       sim_.now(), {{"port", nport}, {"size", nsize}});
+        }
+      }
+    };
+  }
   sim_.schedule(core_cycles(cfg_.notification_cycles),
-                [this, slot, bytes = std::move(bytes)]() mutable {
-                  fabric_.write(endpoint_id_, slot, std::move(bytes));
+                [this, slot, bytes = std::move(bytes),
+                 cb = std::move(on_delivered)]() mutable {
+                  fabric_.write(endpoint_id_, slot, std::move(bytes),
+                                std::move(cb));
                 });
 }
 

@@ -131,6 +131,7 @@ class ExtollNic : public pcie::Endpoint {
     std::uint8_t staged_mask = 0;
     std::uint16_t req_seq = 0;
     std::uint16_t cmp_seq = 0;
+    SimTime wr_posted_at = 0;  // accept time of the in-flight WR (obs span)
     NotifQueue req_queue;
     NotifQueue cmp_queue;
   };

@@ -5,11 +5,28 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::ib {
 
 using mem::Addr;
 using mem::AddressMap;
+
+namespace {
+
+const char* opcode_name(WqeOpcode op) {
+  switch (op) {
+    case WqeOpcode::kRdmaWrite: return "rdma-write";
+    case WqeOpcode::kRdmaRead: return "rdma-read";
+    case WqeOpcode::kSend: return "send";
+    case WqeOpcode::kRdmaWriteImm: return "rdma-write-imm";
+    case WqeOpcode::kInvalid: break;
+  }
+  return "invalid";
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Frame codec. Header is 44 bytes.
@@ -164,6 +181,12 @@ void Hca::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
   std::uint32_t value = 0;
   std::memcpy(&value, data.data(), 4);
   Qp& qp = qps_[qpn];
+  if (obs::metrics()) obs::count("ib.doorbells");
+  if (obs::enabled()) {
+    obs::instant(name_.c_str(), "uar",
+                 is_rq ? "rq-doorbell" : "sq-doorbell", sim_.now(),
+                 {{"qpn", qpn}, {"tail", value}});
+  }
   if (is_rq) {
     qp.rq_tail = value;
     return;
@@ -197,11 +220,22 @@ void Hca::sq_step(std::uint32_t qpn) {
   }
   const Addr slot =
       qp.info.sq_buffer + (qp.sq_head % qp.info.sq_entries) * kSendWqeBytes;
+  const SimTime t_fetch = sim_.now();
   // Fetch the WQE across PCIe (host memory, or the P2P path when the ring
   // lives in GPU memory).
   dma_->read(slot, kSendWqeBytes,
-             [this, qpn](std::vector<std::uint8_t> bytes) {
+             [this, qpn, slot, t_fetch](std::vector<std::uint8_t> bytes) {
                Qp& qp = qps_[qpn];
+               if (obs::metrics()) {
+                 obs::count("ib.wqe_fetches");
+                 obs::observe("ib.wqe_fetch_ns",
+                              static_cast<std::uint64_t>(
+                                  to_ns(sim_.now() - t_fetch)));
+               }
+               if (obs::enabled()) {
+                 obs::span(name_.c_str(), "sq", "wqe-fetch", t_fetch,
+                           sim_.now(), {{"qpn", qpn}, {"slot", slot}});
+               }
                if (!send_wqe_stamp_valid(bytes.data())) {
                  ++stamp_errors_;
                  PG_ERROR("ib", "%s: unstamped WQE on QP %u (head %u)",
@@ -249,8 +283,9 @@ void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
         }
         src = wqe.laddr;
       }
-      qp.await_ack.push_back(
-          PendingAck{psn, wqe.wr_id, wqe.opcode, wqe.byte_len, wqe.signaled});
+      qp.await_ack.push_back(PendingAck{psn, wqe.wr_id, wqe.opcode,
+                                        wqe.byte_len, wqe.signaled,
+                                        sim_.now()});
       const Frame::Kind kind = wqe.opcode == WqeOpcode::kRdmaWrite
                                    ? Frame::Kind::kWrite
                                    : (wqe.opcode == WqeOpcode::kRdmaWriteImm
@@ -587,6 +622,18 @@ void Hca::handle_ack(const Frame& f, bool nak) {
 void Hca::complete_local(std::uint32_t qpn, const PendingAck& pending,
                          WcStatus status) {
   Qp& qp = qps_[qpn];
+  if (obs::metrics()) {
+    obs::observe("ib.wqe_to_cqe_ns",
+                 static_cast<std::uint64_t>(
+                     to_ns(sim_.now() - pending.t_posted)));
+  }
+  if (obs::enabled()) {
+    obs::span(name_.c_str(), "sq", opcode_name(pending.opcode),
+              pending.t_posted, sim_.now(),
+              {{"qpn", qpn},
+               {"bytes", pending.byte_len},
+               {"ok", status == WcStatus::kSuccess}});
+  }
   // Errors always complete; successes only when signaled.
   if (pending.signaled || status != WcStatus::kSuccess) {
     write_cqe(qp.info.send_cq,
@@ -648,6 +695,13 @@ void Hca::write_cqe(std::uint32_t cq_id, const Cqe& cqe) {
   ++cq.pi;
   const auto bytes = encode_cqe(cqe);
   ++cqes_written_;
+  if (obs::metrics()) obs::count("ib.cqes");
+  if (obs::enabled()) {
+    obs::instant(name_.c_str(), "cq", "cqe", sim_.now(),
+                 {{"cq", cq_id},
+                  {"opcode", opcode_name(cqe.opcode)},
+                  {"ok", cqe.status == WcStatus::kSuccess}});
+  }
   fabric_.write(endpoint_id_, slot,
                 std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
 }

@@ -148,6 +148,7 @@ class Hca : public pcie::Endpoint {
     WqeOpcode opcode = WqeOpcode::kInvalid;
     std::uint32_t byte_len = 0;
     bool signaled = false;
+    SimTime t_posted = 0;  // WQE execution start (observability span)
   };
 
   struct PendingRead {

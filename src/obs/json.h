@@ -1,0 +1,67 @@
+// Minimal JSON rendering helpers shared by the trace and metrics
+// writers. Only emission is provided; the observability layer never
+// parses JSON (tests carry their own checker).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pg::obs {
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes). Control characters become \u00XX.
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Renders `s` as a quoted JSON string.
+inline std::string json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+/// Renders a double as a JSON number that round-trips exactly.
+inline std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Renders an unsigned integer as a JSON number.
+inline std::string json_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Renders a signed integer as a JSON number.
+inline std::string json_i64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace pg::obs

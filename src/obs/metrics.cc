@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace pg::obs {
+
+namespace {
+MetricsRegistry* g_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry* metrics() { return g_metrics; }
+
+void attach_metrics(MetricsRegistry* registry) { g_metrics = registry; }
+
+std::uint64_t Log2Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested sample, 1-based: ceil(p * count), at least 1.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_string(name);
+    out += ':';
+    out += json_u64(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_string(name);
+    out += ':';
+    out += json_double(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_string(name);
+    out += ":{\"count\":";
+    out += json_u64(h.count());
+    out += ",\"sum\":";
+    out += json_u64(h.sum());
+    out += ",\"min\":";
+    out += json_u64(h.min());
+    out += ",\"max\":";
+    out += json_u64(h.max());
+    out += ",\"p50\":";
+    out += json_u64(h.percentile(0.50));
+    out += ",\"p90\":";
+    out += json_u64(h.percentile(0.90));
+    out += ",\"p99\":";
+    out += json_u64(h.percentile(0.99));
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (unsigned i = 0; i < Log2Histogram::kBuckets; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      // Key each occupied bucket by its inclusive upper bound.
+      out += json_string(json_u64(Log2Histogram::bucket_upper(i)));
+      out += ':';
+      out += json_u64(h.bucket_count(i));
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::write_json(std::FILE* out) const {
+  const std::string json = snapshot_json();
+  std::fwrite(json.data(), 1, json.size(), out);
+}
+
+}  // namespace pg::obs

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pg::pcie {
 
 void DmaEngine::read(mem::Addr addr, std::uint64_t len,
@@ -14,6 +17,7 @@ void DmaEngine::read(mem::Addr addr, std::uint64_t len,
   job->base = addr;
   job->length = len;
   job->buffer.resize(len);
+  job->t_start = sim_.now();
   job->on_done = std::move(on_done);
   pump_reads(job);
 }
@@ -35,6 +39,17 @@ void DmaEngine::pump_reads(const std::shared_ptr<ReadJob>& job) {
                    --job->outstanding;
                    job->received += chunk;
                    if (job->received == job->length) {
+                     if (obs::metrics()) {
+                       obs::count("dma.reads");
+                       obs::observe("dma.read_ns",
+                                    static_cast<std::uint64_t>(
+                                        to_ns(sim_.now() - job->t_start)));
+                     }
+                     if (obs::enabled()) {
+                       obs::span("pcie.dma", "dma", "dma-read", job->t_start,
+                                 sim_.now(),
+                                 {{"addr", job->base}, {"len", job->length}});
+                     }
                      job->on_done(std::move(job->buffer));
                      return;
                    }

@@ -51,6 +51,7 @@ class DmaEngine {
     std::uint64_t next_offset = 0;   // next segment to request
     std::uint64_t outstanding = 0;   // requests in flight
     std::uint64_t received = 0;      // bytes completed
+    SimTime t_start = 0;             // issue time (observability span)
     std::function<void(std::vector<std::uint8_t>)> on_done;
   };
 

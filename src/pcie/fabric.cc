@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::pcie {
 
@@ -87,6 +89,18 @@ void Fabric::write(EndpointId src, Addr addr, std::vector<std::uint8_t> data,
   } else {
     t += cfg_.host_dram_latency;
   }
+  if (obs::metrics()) {
+    obs::count("pcie.write_tlps");
+    obs::observe("pcie.write_ns",
+                 static_cast<std::uint64_t>(to_ns(t - now)));
+  }
+  if (obs::enabled()) {
+    obs::span("pcie", "tlp", "write", now, t,
+              {{"addr", addr},
+               {"bytes", data.size()},
+               {"src", ports_[src].name},
+               {"dst", ports_[target].name}});
+  }
   sim_.schedule_at(
       t, [this, target, addr, data = std::move(data),
           cb = std::move(on_delivered)]() {
@@ -117,7 +131,8 @@ void Fabric::read(EndpointId src, Addr addr, std::uint32_t len,
   // Service at the target: data is sampled when the request is served.
   // We defer sampling to the arrival event so that writes landing before
   // the request is served are observed.
-  sim_.schedule_at(arrival, [this, src, target, addr, len, arrival,
+  const SimTime t_issue = now;
+  sim_.schedule_at(arrival, [this, src, target, addr, len, arrival, t_issue,
                              cb = std::move(on_data)]() mutable {
     std::vector<std::uint8_t> data(len);
     const SimTime ready = serve_read(target, arrival, addr, data);
@@ -128,6 +143,18 @@ void Fabric::read(EndpointId src, Addr addr, std::uint32_t len,
     }
     if (src != kRootComplex) {
       back = ports_[src].down->occupy(back, len);
+    }
+    if (obs::metrics()) {
+      obs::count("pcie.read_tlps");
+      obs::observe("pcie.read_ns",
+                   static_cast<std::uint64_t>(to_ns(back - t_issue)));
+    }
+    if (obs::enabled()) {
+      obs::span("pcie", "tlp", "read", t_issue, back,
+                {{"addr", addr},
+                 {"bytes", len},
+                 {"src", ports_[src].name},
+                 {"dst", ports_[target].name}});
     }
     sim_.schedule_at(back, [data = std::move(data), cb = std::move(cb)]() {
       cb(std::move(data));

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/bitops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::pcie {
 
@@ -27,10 +29,21 @@ SimTime GpuP2pReadServer::serve(SimTime arrival, mem::Addr addr,
                                 std::uint64_t len) {
   if (!cfg_.model_enabled) {
     // Ablation: ideal server, only base latency.
-    return arrival + cfg_.base_latency;
+    const SimTime done = arrival + cfg_.base_latency;
+    if (obs::metrics()) {
+      obs::count("p2p.reads");
+      obs::observe("p2p.read_ns",
+                   static_cast<std::uint64_t>(to_ns(done - arrival)));
+    }
+    if (obs::enabled()) {
+      obs::span("pcie", "p2p", "p2p-read", arrival, done,
+                {{"addr", addr}, {"len", len}, {"model", false}});
+    }
+    return done;
   }
   const SimTime start = std::max(arrival, busy_until_);
   SimDuration service = cfg_.base_latency + cfg_.read_throughput.transfer_time(len);
+  const std::uint64_t misses_before = page_misses_;
   if (len > 0) {
     const std::uint64_t first = addr / kPageSize;
     const std::uint64_t last = (addr + len - 1) / kPageSize;
@@ -39,6 +52,18 @@ SimTime GpuP2pReadServer::serve(SimTime arrival, mem::Addr addr,
     }
   }
   busy_until_ = start + service;
+  if (obs::metrics()) {
+    obs::count("p2p.reads");
+    obs::count("p2p.page_misses", page_misses_ - misses_before);
+    obs::observe("p2p.read_ns",
+                 static_cast<std::uint64_t>(to_ns(busy_until_ - arrival)));
+  }
+  if (obs::enabled()) {
+    obs::span("pcie", "p2p", "p2p-read", arrival, busy_until_,
+              {{"addr", addr},
+               {"len", len},
+               {"page_misses", page_misses_ - misses_before}});
+  }
   return busy_until_;
 }
 

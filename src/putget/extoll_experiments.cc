@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "putget/device_lib.h"
 #include "putget/extoll_host.h"
+#include "putget/op_span.h"
 #include "putget/setup.h"
 #include "putget/stats.h"
 
@@ -104,6 +105,7 @@ PingPongResult run_extoll_pingpong(const sys::ClusterConfig& cfg,
   PingPongResult result;
   result.iterations = iterations;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(), op_label("extoll-pingpong", mode, size));
   sys::Node& n0 = cluster.node(0);
   sys::Node& n1 = cluster.node(1);
   auto setup = ExtollPair::create(cluster, 0, size);
@@ -242,6 +244,7 @@ BandwidthResult run_extoll_bandwidth(const sys::ClusterConfig& cfg,
   BandwidthResult result;
   result.bytes = static_cast<std::uint64_t>(size) * messages;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(), op_label("extoll-bandwidth", mode, size));
   sys::Node& n0 = cluster.node(0);
   sys::Node& n1 = cluster.node(1);
   auto setup = ExtollPair::create(cluster, 0, size);
@@ -392,6 +395,8 @@ MessageRateResult run_extoll_msgrate(const sys::ClusterConfig& cfg,
   result.messages = static_cast<std::uint64_t>(pairs) * msgs_per_pair;
   constexpr std::uint32_t kMsgSize = 64;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(),
+            op_label("extoll-msgrate", rate_variant_name(variant), kMsgSize));
   sys::Node& n0 = cluster.node(0);
   const std::uint32_t qmask = cfg.node.extoll.notif_queue_entries - 1;
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "putget/device_lib.h"
 #include "putget/ib_host.h"
+#include "putget/op_span.h"
 #include "putget/setup.h"
 #include "putget/stats.h"
 
@@ -103,6 +104,9 @@ PingPongResult run_ib_pingpong(const sys::ClusterConfig& cfg,
   PingPongResult result;
   result.iterations = iterations;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(),
+            op_label("ib-pingpong", transfer_mode_name(mode), size) + "/" +
+                queue_location_name(location));
   sys::Node& n0 = cluster.node(0);
   sys::Node& n1 = cluster.node(1);
   auto pair = IbPair::create(cluster, location, size, 404);
@@ -289,6 +293,9 @@ BandwidthResult run_ib_bandwidth(const sys::ClusterConfig& cfg,
   BandwidthResult result;
   result.bytes = static_cast<std::uint64_t>(size) * messages;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(),
+            op_label("ib-bandwidth", transfer_mode_name(mode), size) + "/" +
+                queue_location_name(location));
   sys::Node& n0 = cluster.node(0);
   sys::Node& n1 = cluster.node(1);
   auto pair = IbPair::create(cluster, location, size, 505);
@@ -443,6 +450,8 @@ MessageRateResult run_ib_msgrate(const sys::ClusterConfig& cfg,
   result.messages = static_cast<std::uint64_t>(pairs) * msgs_per_pair;
   constexpr std::uint32_t kMsgSize = 64;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(),
+            op_label("ib-msgrate", rate_variant_name(variant), kMsgSize));
   sys::Node& n0 = cluster.node(0);
 
   struct Conn {
@@ -694,6 +703,8 @@ VerbsInstructionCounts measure_verbs_instruction_counts(
     const sys::ClusterConfig& cfg, QueueLocation location) {
   VerbsInstructionCounts out;
   sys::Cluster cluster(cfg);
+  OpSpan op(cluster.sim(),
+            op_label("ib-verbs-instr", queue_location_name(location), 64));
   sys::Node& n0 = cluster.node(0);
   auto pair = IbPair::create(cluster, location, 64, 909);
   if (!pair.is_ok()) return out;

@@ -1,5 +1,7 @@
 #include "putget/modes.h"
 
+#include <cstdio>
+
 namespace pg::putget {
 
 const char* transfer_mode_name(TransferMode mode) {
@@ -34,6 +36,23 @@ const char* concurrency_style_name(ConcurrencyStyle style) {
       return "dev2dev-kernels";
   }
   return "?";
+}
+
+std::string op_label(const char* op, const char* variant,
+                     std::uint64_t bytes) {
+  char buf[128];
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof buf, "%s/%s/%lluKiB", op, variant,
+                  static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s/%s/%lluB", op, variant,
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string op_label(const char* op, TransferMode mode, std::uint64_t bytes) {
+  return op_label(op, transfer_mode_name(mode), bytes);
 }
 
 }  // namespace pg::putget

@@ -1,6 +1,9 @@
 // Transfer-mode taxonomy from the paper's evaluation.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 namespace pg::putget {
 
 /// Who drives the communication, and how completion is detected.
@@ -35,5 +38,11 @@ enum class ConcurrencyStyle {
 const char* transfer_mode_name(TransferMode mode);
 const char* queue_location_name(QueueLocation loc);
 const char* concurrency_style_name(ConcurrencyStyle style);
+
+/// Label for one experiment run, e.g. "extoll-pingpong/dev2dev-direct/64B".
+/// Used as the trace unit (Perfetto process) name and op-span identity.
+std::string op_label(const char* op, const char* variant,
+                     std::uint64_t bytes);
+std::string op_label(const char* op, TransferMode mode, std::uint64_t bytes);
 
 }  // namespace pg::putget

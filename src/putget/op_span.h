@@ -1,0 +1,46 @@
+// RAII guard around one experiment run for observability.
+//
+// On construction it opens a new trace unit (one Perfetto "process" per
+// run - every run builds a fresh Simulation starting at t=0, so units
+// keep their timelines from overlapping). On destruction it emits a
+// "putget"-track span covering the whole run plus the putget.* metrics.
+// All of it no-ops when no sink is attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace pg::putget {
+
+class OpSpan {
+ public:
+  OpSpan(sim::Simulation& sim, std::string label)
+      : sim_(sim), label_(std::move(label)) {
+    obs::begin_unit(label_);
+  }
+
+  OpSpan(const OpSpan&) = delete;
+  OpSpan& operator=(const OpSpan&) = delete;
+
+  ~OpSpan() {
+    if (obs::metrics()) {
+      obs::count("putget.ops");
+      obs::observe("putget.op_ns",
+                   static_cast<std::uint64_t>(to_ns(sim_.now())));
+    }
+    if (obs::enabled()) {
+      obs::span("putget", "op", label_, 0, sim_.now(), {});
+    }
+  }
+
+ private:
+  sim::Simulation& sim_;
+  std::string label_;
+};
+
+}  // namespace pg::putget

@@ -2,11 +2,23 @@
 
 #include <cassert>
 
+#include "common/log.h"
+
 namespace pg::sim {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
   if (events_executed_ >= event_limit_) {
+    if (!event_limit_hit_) {
+      // Diagnose the safety valve loudly: a tripped limit means a model
+      // scheduled an event storm, and a silent early return makes that
+      // look like ordinary convergence failure.
+      PG_ERROR("sim",
+               "event limit tripped: %llu events executed, t=%lld ps; "
+               "run() returns early (raise with set_event_limit)",
+               static_cast<unsigned long long>(events_executed_),
+               static_cast<long long>(now_));
+    }
     event_limit_hit_ = true;
     return false;
   }

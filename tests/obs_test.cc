@@ -1,0 +1,331 @@
+// Tests for the observability subsystem (src/obs/): histogram bucket
+// math, trace JSON well-formedness, metrics snapshot determinism, and -
+// most importantly - that attaching the sinks does not perturb the
+// simulation (traced results equal untraced results exactly).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "putget/extoll_experiments.h"
+#include "putget/modes.h"
+#include "sys/testbed.h"
+
+namespace pg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser: accepts exactly the JSON
+// grammar (objects, arrays, strings with escapes, numbers, true/false/
+// null) and nothing else. Enough to prove the exported trace is
+// well-formed without a JSON library dependency.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (!strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& hay, const std::string& s) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(s); p != std::string::npos;
+       p = hay.find(s, p + s.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Log2Histogram.
+
+TEST(Log2Histogram, BucketBoundaries) {
+  using H = obs::Log2Histogram;
+  // Bucket 0 holds exactly the value 0; bucket i >= 1 holds
+  // [2^(i-1), 2^i - 1].
+  EXPECT_EQ(H::bucket_index(0), 0u);
+  EXPECT_EQ(H::bucket_index(1), 1u);
+  EXPECT_EQ(H::bucket_index(2), 2u);
+  EXPECT_EQ(H::bucket_index(3), 2u);
+  EXPECT_EQ(H::bucket_index(4), 3u);
+  EXPECT_EQ(H::bucket_index(7), 3u);
+  EXPECT_EQ(H::bucket_index(8), 4u);
+  EXPECT_EQ(H::bucket_index(1023), 10u);
+  EXPECT_EQ(H::bucket_index(1024), 11u);
+  for (unsigned i = 1; i < 64; ++i) {
+    const std::uint64_t lo = H::bucket_lower(i);
+    const std::uint64_t hi = H::bucket_upper(i);
+    EXPECT_EQ(H::bucket_index(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(H::bucket_index(hi), i) << "upper bound of bucket " << i;
+  }
+}
+
+TEST(Log2Histogram, RecordAndStats) {
+  obs::Log2Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.bucket_count(3), 1u);  // {4}
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Log2Histogram, Percentiles) {
+  obs::Log2Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull}) h.record(v);
+  // Percentile answers are the upper bound of the first bucket whose
+  // cumulative count reaches ceil(p * count).
+  EXPECT_EQ(h.percentile(0.0), 0u);   // rank 1 -> bucket 0
+  EXPECT_EQ(h.percentile(0.2), 0u);   // rank 1 -> bucket 0
+  EXPECT_EQ(h.percentile(0.4), 1u);   // rank 2 -> bucket 1
+  EXPECT_EQ(h.percentile(0.5), 3u);   // rank 3 -> bucket 2
+  EXPECT_EQ(h.percentile(0.8), 3u);   // rank 4 -> bucket 2
+  EXPECT_EQ(h.percentile(1.0), 7u);   // rank 5 -> bucket 3
+}
+
+TEST(Log2Histogram, EmptyIsSafe) {
+  obs::Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder.
+
+TEST(TraceRecorder, JsonRoundTrip) {
+  obs::TraceRecorder rec;
+  rec.begin_unit("unit-a");
+  const auto t1 = rec.track("pcie");
+  const auto t2 = rec.track("node0.gpu");
+  rec.span(t1, "tlp", "write", 1000, 2500,
+           {{"addr", 0xdeadbeefull},
+            {"bytes", 64},
+            {"dst", std::string("gpu \"0\"\n")}});  // needs escaping
+  rec.instant(t2, "poll", "l2-read", 3000, {{"hit", true}});
+  rec.begin_unit("unit-b");
+  rec.span(t1, "tlp", "read", 500, 700, {});
+  EXPECT_EQ(rec.event_count(), 3u);
+
+  const std::string json = rec.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Both units appear as process metadata, both tracks as thread names.
+  EXPECT_NE(json.find("unit-a"), std::string::npos);
+  EXPECT_NE(json.find("unit-b"), std::string::npos);
+  EXPECT_NE(json.find("\"pcie\""), std::string::npos);
+  EXPECT_NE(json.find("\"node0.gpu\""), std::string::npos);
+  // Picosecond timestamps render as exact fractional microseconds.
+  EXPECT_NE(json.find("\"ts\":0.001000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.001500"), std::string::npos);
+  // The escaped argument survived.
+  EXPECT_NE(json.find("gpu \\\"0\\\"\\n"), std::string::npos);
+}
+
+TEST(TraceRecorder, TrackIdsStable) {
+  obs::TraceRecorder rec;
+  const auto a = rec.track("alpha");
+  const auto b = rec.track("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.track("alpha"), a);
+  EXPECT_EQ(rec.track("beta"), b);
+}
+
+TEST(Metrics, SnapshotJsonIsValid) {
+  obs::MetricsRegistry reg;
+  reg.counter("pcie.write_tlps").add(3);
+  reg.gauge("queue.depth").set(7.5);
+  auto& h = reg.histogram("lat_ns");
+  for (std::uint64_t v = 1; v <= 1000; v *= 3) h.record(v);
+  const std::string json = reg.snapshot_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("pcie.write_tlps"), std::string::npos);
+  EXPECT_NE(json.find("queue.depth"), std::string::npos);
+  EXPECT_NE(json.find("lat_ns"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: identical runs give identical snapshots, and attaching the
+// sinks does not change simulated results.
+
+sys::ClusterConfig small_testbed() { return sys::extoll_testbed(); }
+
+TEST(ObsEndToEnd, MetricsSnapshotDeterministic) {
+  std::string snapshots[2];
+  for (int i = 0; i < 2; ++i) {
+    obs::MetricsRegistry reg;
+    obs::attach_metrics(&reg);
+    const auto r = putget::run_extoll_pingpong(
+        small_testbed(), putget::TransferMode::kGpuDirect, 64, 4);
+    obs::attach_metrics(nullptr);
+    ASSERT_TRUE(r.payload_ok);
+    snapshots[i] = reg.snapshot_json();
+  }
+  EXPECT_FALSE(snapshots[0].empty());
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+}
+
+TEST(ObsEndToEnd, TracingDoesNotPerturbSimulation) {
+  const auto cfg = small_testbed();
+  const auto untraced = putget::run_extoll_pingpong(
+      cfg, putget::TransferMode::kGpuDirect, 64, 4);
+  ASSERT_TRUE(untraced.payload_ok);
+
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry reg;
+  obs::attach_recorder(&rec);
+  obs::attach_metrics(&reg);
+  const auto traced = putget::run_extoll_pingpong(
+      cfg, putget::TransferMode::kGpuDirect, 64, 4);
+  obs::attach_recorder(nullptr);
+  obs::attach_metrics(nullptr);
+  ASSERT_TRUE(traced.payload_ok);
+
+  // Exact equality: the hooks only observe; they never schedule events.
+  EXPECT_EQ(traced.half_rtt_us, untraced.half_rtt_us);
+  EXPECT_EQ(traced.post_sum_us, untraced.post_sum_us);
+  EXPECT_EQ(traced.poll_sum_us, untraced.poll_sum_us);
+  EXPECT_EQ(traced.gpu0.instructions_executed,
+            untraced.gpu0.instructions_executed);
+  EXPECT_EQ(traced.gpu0.memory_accesses, untraced.gpu0.memory_accesses);
+
+  // And the trace it produced is substantial, well-formed JSON with
+  // spans on the component tracks the run exercises.
+  EXPECT_GT(rec.event_count(), 100u);
+  const std::string json = rec.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  for (const char* tr : {"\"pcie\"", "\"node0.gpu\"", "\"node0.extoll\"",
+                         "\"putget\""}) {
+    EXPECT_NE(json.find(tr), std::string::npos) << tr;
+  }
+  // One op span per run unit.
+  EXPECT_EQ(count_occurrences(
+                json, putget::op_label("extoll-pingpong",
+                                       putget::TransferMode::kGpuDirect, 64)),
+            2u);  // process_name metadata + the op span itself
+}
+
+}  // namespace
+}  // namespace pg
