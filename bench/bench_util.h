@@ -12,6 +12,7 @@
 // without observability.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -123,7 +124,8 @@ inline std::string size_label(std::uint64_t bytes) {
 /// --json output, so the text table and the JSON series always agree.
 class Session {
  public:
-  Session(int argc, char** argv) {
+  Session(int argc, char** argv)
+      : wall_start_(std::chrono::steady_clock::now()) {
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
       if (std::strncmp(a, "--trace=", 8) == 0) {
@@ -180,6 +182,13 @@ class Session {
         } else {
           std::fputs("{}", f);
         }
+        // Host wall-clock for the whole run: the cheap always-on signal
+        // that the simulator itself has not regressed.
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - wall_start_)
+                .count();
+        std::fprintf(f, ",\"wall_clock_ms\":%.3f", wall_ms);
         std::fputs("}\n", f);
         std::fclose(f);
       } else {
@@ -207,6 +216,7 @@ class Session {
   }
 
  private:
+  std::chrono::steady_clock::time_point wall_start_;
   std::string trace_path_;
   std::string json_path_;
   obs::TraceRecorder* recorder_ = nullptr;

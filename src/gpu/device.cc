@@ -40,6 +40,7 @@ std::uint64_t sign_extend_none(std::uint64_t raw, unsigned width) {
 
 struct Gpu::LaunchState {
   KernelLaunch kl;
+  const Decoded* code = nullptr;  // predecoded stream (owned by Program)
   DoneFn done;
   std::uint32_t blocks_remaining = 0;
   SimTime t_launch = 0;  // host-side launch time (observability span)
@@ -59,6 +60,20 @@ struct Gpu::WarpExec {
   std::shared_ptr<BlockState> block;
   std::uint32_t warp_in_block = 0;
   std::uint64_t warp_global_id = 0;
+
+  struct LaneAccess {
+    unsigned lane;
+    mem::Addr addr;
+    std::uint64_t value = 0;  // store data
+  };
+  // Per-warp scratch for gathering lane accesses and coalescing sectors.
+  // Reused across instructions so the steady-state interpreter does not
+  // allocate. Safe for deferred reads: memory ops that schedule a
+  // continuation (global/sysmem loads, atomics) park the warp until the
+  // continuation runs, so the scratch cannot be clobbered meanwhile.
+  // Posted stores copy what they need instead.
+  std::vector<LaneAccess> scratch;
+  std::vector<std::uint64_t> sectors;
 };
 
 struct Gpu::StreamState {
@@ -93,6 +108,9 @@ void Gpu::launch(const KernelLaunch& kl, DoneFn done) {
   ++counters_.kernels_launched;
   auto ls = std::make_shared<LaunchState>();
   ls->kl = kl;
+  // Predecode once per launch; repeated launches of the same Program hit
+  // the cache. The vector is stable, so the raw pointer stays valid.
+  ls->code = kl.program->decoded().data();
   ls->done = std::move(done);
   ls->blocks_remaining = kl.blocks;
   ls->t_launch = sim_.now();
@@ -205,54 +223,66 @@ void Gpu::retire_warp(const std::shared_ptr<WarpExec>& w, SimDuration dt) {
 // ---------------------------------------------------------------------------
 // Backing-store access helpers.
 
+namespace {
+
+/// Width-dispatched, zero-extending load from a SparseMemory (the
+/// in-page typed fast path; ld.uN semantics).
+std::uint64_t sparse_load(const mem::SparseMemory& m, std::uint64_t off,
+                          unsigned width) {
+  switch (width) {
+    case 1: return m.read_u8(off);
+    case 2: return m.read_u16(off);
+    case 4: return m.read_u32(off);
+    default: return m.read_u64(off);
+  }
+}
+
+void sparse_store(mem::SparseMemory& m, std::uint64_t off, unsigned width,
+                  std::uint64_t v) {
+  switch (width) {
+    case 1: m.write_u8(off, static_cast<std::uint8_t>(v)); break;
+    case 2: m.write_u16(off, static_cast<std::uint16_t>(v)); break;
+    case 4: m.write_u32(off, static_cast<std::uint32_t>(v)); break;
+    default: m.write_u64(off, v); break;
+  }
+}
+
+}  // namespace
+
 std::uint64_t Gpu::load_backed(const WarpExec& w, Addr addr,
                                unsigned width) const {
-  std::uint8_t buf[8] = {};
   if (AddressMap::classify(addr) == Space::kGpuShared) {
     const std::uint64_t offset = addr - AddressMap::kGpuSharedBase;
     assert(offset + width <= cfg_.shared_mem_per_block &&
            "shared-memory access out of block allocation");
-    w.block->shared->read(offset, {buf, width});
-  } else {
-    memory_.read(addr, {buf, width});
+    return sparse_load(*w.block->shared, offset, width);
   }
-  std::uint64_t v = 0;
-  std::memcpy(&v, buf, 8);
-  return sign_extend_none(v, width);
+  return memory_.load_scalar(addr, width);
 }
 
 void Gpu::store_backed(WarpExec& w, Addr addr, unsigned width,
                        std::uint64_t value) {
-  std::uint8_t buf[8];
-  std::memcpy(buf, &value, 8);
   if (AddressMap::classify(addr) == Space::kGpuShared) {
     const std::uint64_t offset = addr - AddressMap::kGpuSharedBase;
     assert(offset + width <= cfg_.shared_mem_per_block &&
            "shared-memory access out of block allocation");
-    w.block->shared->write(offset, {buf, width});
-  } else {
-    memory_.write(addr, {buf, width});
+    sparse_store(*w.block->shared, offset, width, value);
+    return;
   }
+  memory_.store_scalar(addr, width, value);
 }
 
 // ---------------------------------------------------------------------------
 // Memory instruction execution.
 
-namespace {
-struct LaneAccess {
-  unsigned lane;
-  Addr addr;
-  std::uint64_t value = 0;  // store data
-};
-}  // namespace
-
-bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
+bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                     SimDuration& dt) {
+  using LaneAccess = WarpExec::LaneAccess;
   WarpState& ws = w->state;
-  std::vector<LaneAccess> lanes;
+  std::vector<LaneAccess>& lanes = w->scratch;
+  lanes.clear();
   ws.for_each_active([&](unsigned lane) {
-    lanes.push_back(
-        {lane, ws.reg(lane, in.ra) + static_cast<std::uint64_t>(in.imm)});
+    lanes.push_back({lane, ws.reg(lane, in.ra) + in.imm});
   });
   counters_.memory_accesses += lanes.size();
   const Space space = AddressMap::classify(lanes.front().addr);
@@ -275,7 +305,8 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
 
   if (space == Space::kGpuDram) {
     // Coalesce into unique 32B sectors; each is one L2 read request.
-    std::vector<std::uint64_t> sectors;
+    std::vector<std::uint64_t>& sectors = w->sectors;
+    sectors.clear();
     for (const auto& la : lanes) {
       if (in.width == 8) {
         ++counters_.globmem_read64;
@@ -310,9 +341,37 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
     }
     // Sample at completion: NIC writes landing during the access latency
     // are observed, matching hardware where the L2 serves the request.
-    sim_.schedule(dt + latency, [this, w, lanes, &in] {
-      for (const auto& la : lanes) {
-        w->state.set_reg(la.lane, in.rd, load_backed(*w, la.addr, in.width));
+    // The warp is parked, so the continuation reads w->scratch in place.
+    sim_.schedule(dt + latency, [this, w, &in] {
+      const std::vector<LaneAccess>& lns = w->scratch;
+      // Coalesced fast path: when every active lane hits one backing
+      // page (the common case: warp-uniform polls and unit-stride
+      // accesses), resolve the page once instead of per lane. Data-only;
+      // every counter was already updated at issue.
+      Addr lo = lns.front().addr;
+      Addr hi = lo;
+      for (const auto& la : lns) {
+        lo = std::min(lo, la.addr);
+        hi = std::max(hi, la.addr);
+      }
+      const std::uint64_t off = lo - AddressMap::kGpuDramBase;
+      const std::uint64_t len = hi + in.width - lo;
+      const mem::SparseMemory& dram = memory_.gpu_dram();
+      if (off / mem::SparseMemory::kPageSize ==
+          (off + len - 1) / mem::SparseMemory::kPageSize) {
+        if (const std::uint8_t* base = dram.span_in_page(off, len)) {
+          for (const auto& la : lns) {
+            std::uint64_t v = 0;
+            std::memcpy(&v, base + (la.addr - lo), in.width);
+            w->state.set_reg(la.lane, in.rd, sign_extend_none(v, in.width));
+          }
+        } else {  // page absent: reads as zero
+          for (const auto& la : lns) w->state.set_reg(la.lane, in.rd, 0);
+        }
+      } else {
+        for (const auto& la : lns) {
+          w->state.set_reg(la.lane, in.rd, load_backed(*w, la.addr, in.width));
+        }
       }
       w->state.set_pc(w->state.pc() + 1);
       run_warp(w);
@@ -322,7 +381,8 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
 
   // System memory or MMIO: split transactions over PCIe.
   {
-    std::vector<std::uint64_t> sectors;
+    std::vector<std::uint64_t>& sectors = w->sectors;
+    sectors.clear();
     for (const auto& la : lanes) {
       sectors.push_back(la.addr / 32);
       sectors.push_back((la.addr + in.width - 1) / 32);
@@ -338,15 +398,18 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
     }
     auto pending = std::make_shared<std::size_t>(lanes.size());
     // Zero-copy path overhead (GPU MMU / BAR window) before the request
-    // reaches the fabric.
-    sim_.schedule(dt + cfg_.sysmem_read_extra, [this, w, lanes, &in, pending] {
-      for (const auto& la : lanes) {
+    // reaches the fabric. The warp is parked; w->scratch stays valid
+    // until the last per-lane completion below.
+    sim_.schedule(dt + cfg_.sysmem_read_extra, [this, w, &in, pending] {
+      for (const auto& la : w->scratch) {
         sysmem_read(
             la.addr, in.width,
-            [this, w, la, &in, pending](std::vector<std::uint8_t> data) {
+            [this, w, lane = la.lane, &in,
+             pending](std::vector<std::uint8_t> data) {
               std::uint64_t v = 0;
-              std::memcpy(&v, data.data(), std::min<std::size_t>(8, data.size()));
-              w->state.set_reg(la.lane, in.rd, sign_extend_none(v, in.width));
+              std::memcpy(&v, data.data(),
+                          std::min<std::size_t>(8, data.size()));
+              w->state.set_reg(lane, in.rd, sign_extend_none(v, in.width));
               if (--*pending == 0) {
                 w->state.set_pc(w->state.pc() + 1);
                 run_warp(w);
@@ -358,14 +421,20 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
   }
 }
 
-void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
+void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                      SimDuration& dt) {
+  using LaneAccess = WarpExec::LaneAccess;
   WarpState& ws = w->state;
-  std::vector<LaneAccess> lanes;
+  // Stores do not park the warp (they are posted), so the deferred apply
+  // below must own its lane data instead of borrowing w->scratch: a later
+  // instruction in the same inline slice could clobber the scratch before
+  // the posted write lands. Single-lane stores (the device library's
+  // steady state) capture the one access by value - no allocation.
+  std::vector<LaneAccess>& lanes = w->scratch;
+  lanes.clear();
   ws.for_each_active([&](unsigned lane) {
     lanes.push_back(
-        {lane, ws.reg(lane, in.ra) + static_cast<std::uint64_t>(in.imm),
-         ws.reg(lane, in.rb)});
+        {lane, ws.reg(lane, in.ra) + in.imm, ws.reg(lane, in.rb)});
   });
   counters_.memory_accesses += lanes.size();
   const Space space = AddressMap::classify(lanes.front().addr);
@@ -386,7 +455,8 @@ void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
   }
 
   if (space == Space::kGpuDram) {
-    std::vector<std::uint64_t> sectors;
+    std::vector<std::uint64_t>& sectors = w->sectors;
+    sectors.clear();
     for (const auto& la : lanes) {
       if (in.width == 8) {
         ++counters_.globmem_write64;
@@ -404,11 +474,19 @@ void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
     }
     // Posted into the memory pipeline: visible after the issue slice.
     const unsigned width = in.width;
-    sim_.schedule(dt, [this, w, lanes, width] {
-      for (const auto& la : lanes) {
+    if (lanes.size() == 1) {
+      const LaneAccess la = lanes.front();
+      sim_.schedule(dt, [this, w, la, width] {
         store_backed(*w, la.addr, width, la.value);
-      }
-    });
+      });
+    } else {
+      sim_.schedule(dt, [this, w, lns = std::vector<LaneAccess>(lanes),
+                         width] {
+        for (const auto& la : lns) {
+          store_backed(*w, la.addr, width, la.value);
+        }
+      });
+    }
     ws.set_pc(ws.pc() + 1);
     return;
   }
@@ -416,7 +494,8 @@ void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
   // System memory or MMIO: posted PCIe writes (this is how a GPU thread
   // posts an EXTOLL WR to the BAR or rings the IB doorbell).
   {
-    std::vector<std::uint64_t> sectors;
+    std::vector<std::uint64_t>& sectors = w->sectors;
+    sectors.clear();
     for (const auto& la : lanes) {
       sectors.push_back(la.addr / 32);
       sectors.push_back((la.addr + in.width - 1) / 32);
@@ -429,44 +508,56 @@ void Gpu::exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
     // immediately.
     const SimDuration flush =
         AddressMap::is_mmio(lanes.front().addr) ? cfg_.mmio_store_flush : 0;
-    sim_.schedule(dt + flush, [this, lanes, width] {
-      for (const auto& la : lanes) {
+    if (lanes.size() == 1) {
+      const LaneAccess la = lanes.front();
+      sim_.schedule(dt + flush, [this, la, width] {
         std::vector<std::uint8_t> bytes(width);
         std::memcpy(bytes.data(), &la.value, width);
         fabric_.write(endpoint_id_, la.addr, std::move(bytes));
-      }
-    });
+      });
+    } else {
+      sim_.schedule(dt + flush, [this, lns = std::vector<LaneAccess>(lanes),
+                                 width] {
+        for (const auto& la : lns) {
+          std::vector<std::uint8_t> bytes(width);
+          std::memcpy(bytes.data(), &la.value, width);
+          fabric_.write(endpoint_id_, la.addr, std::move(bytes));
+        }
+      });
+    }
     ws.set_pc(ws.pc() + 1);
     return;
   }
 }
 
-bool Gpu::exec_atomic(const std::shared_ptr<WarpExec>& w, const Instr& in,
+bool Gpu::exec_atomic(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                       SimDuration& dt) {
   WarpState& ws = w->state;
-  std::vector<LaneAccess> lanes;
+  std::vector<WarpExec::LaneAccess>& lanes = w->scratch;
+  lanes.clear();
   ws.for_each_active([&](unsigned lane) {
     lanes.push_back(
-        {lane, ws.reg(lane, in.ra) + static_cast<std::uint64_t>(in.imm),
-         ws.reg(lane, in.rb)});
+        {lane, ws.reg(lane, in.ra) + in.imm, ws.reg(lane, in.rb)});
   });
   counters_.memory_accesses += lanes.size();
   assert(AddressMap::classify(lanes.front().addr) == Space::kGpuDram &&
          "atomics are supported on device global memory only");
   counters_.globmem_read64 += lanes.size();
   counters_.globmem_write64 += lanes.size();
-  std::vector<std::uint64_t> sectors;
+  std::vector<std::uint64_t>& sectors = w->sectors;
+  sectors.clear();
   for (const auto& la : lanes) sectors.push_back(la.addr / 32);
   unique_sorted(sectors);
   counters_.l2_write_requests += sectors.size();
   for (std::uint64_t s : sectors) (void)l2_.access(s * 32, true);
 
-  const bool is_add = in.op == Op::kAtomAdd;
+  const bool is_add = in.op == XOp::kAtomAdd;
   // The read-modify-write executes atomically inside one event at
   // completion time; lanes apply in lane order (hardware serializes
-  // same-address lane conflicts too).
-  sim_.schedule(dt + cycles(cfg_.atom_cycles), [this, w, lanes, &in, is_add] {
-    for (const auto& la : lanes) {
+  // same-address lane conflicts too). The warp is parked, so the
+  // continuation reads w->scratch in place.
+  sim_.schedule(dt + cycles(cfg_.atom_cycles), [this, w, &in, is_add] {
+    for (const auto& la : w->scratch) {
       const std::uint64_t old = load_backed(*w, la.addr, 8);
       const std::uint64_t next = is_add ? old + la.value : la.value;
       store_backed(*w, la.addr, 8, next);
@@ -509,7 +600,13 @@ void Gpu::pump_sysmem_reads() {
 
 void Gpu::run_warp(std::shared_ptr<WarpExec> w) {
   WarpState& ws = w->state;
-  const Program& prog = *w->block->launch->kl.program;
+  // The predecoded stream: secondary decode (cmp/cond/sreg dispatch,
+  // immediate casts) happened once at launch, so every case below lands
+  // directly on its operation with no nested per-lane switch.
+  const Decoded* const code = w->block->launch->code;
+#ifndef NDEBUG
+  const std::size_t code_size = w->block->launch->kl.program->size();
+#endif
   SimDuration dt = 0;
   unsigned steps = 0;
   while (steps < cfg_.max_inline_steps) {
@@ -518,8 +615,8 @@ void Gpu::run_warp(std::shared_ptr<WarpExec> w) {
       return;
     }
     if (ws.maybe_reconverge()) continue;
-    assert(static_cast<std::size_t>(ws.pc()) < prog.size());
-    const Instr& in = prog.at(static_cast<std::size_t>(ws.pc()));
+    assert(static_cast<std::size_t>(ws.pc()) < code_size);
+    const Decoded& in = code[ws.pc()];
     counters_.instructions_executed += ws.active_count();
     dt += issue_cost();
     ++steps;
@@ -532,141 +629,196 @@ void Gpu::run_warp(std::shared_ptr<WarpExec> w) {
     };
     auto ra = [&](unsigned lane) { return ws.reg(lane, in.ra); };
     auto rb = [&](unsigned lane) { return ws.reg(lane, in.rb); };
-    const auto imm = static_cast<std::uint64_t>(in.imm);
+    auto sra = [&](unsigned lane) {
+      return static_cast<std::int64_t>(ws.reg(lane, in.ra));
+    };
+    auto srb = [&](unsigned lane) {
+      return static_cast<std::int64_t>(ws.reg(lane, in.rb));
+    };
+    const std::uint64_t imm = in.imm;
+    const auto simm = static_cast<std::int64_t>(imm);
 
     switch (in.op) {
-      case Op::kNop:
+      case XOp::kNop:
         ws.set_pc(ws.pc() + 1);
         break;
-      case Op::kMovI:
+      case XOp::kMovI:
         alu([&](unsigned) { return imm; });
         break;
-      case Op::kMov:
+      case XOp::kMov:
         alu([&](unsigned lane) { return ra(lane); });
         break;
-      case Op::kAdd:
+      case XOp::kAdd:
         alu([&](unsigned lane) { return ra(lane) + rb(lane); });
         break;
-      case Op::kAddI:
+      case XOp::kAddI:
         alu([&](unsigned lane) { return ra(lane) + imm; });
         break;
-      case Op::kSub:
+      case XOp::kSub:
         alu([&](unsigned lane) { return ra(lane) - rb(lane); });
         break;
-      case Op::kMul:
+      case XOp::kMul:
         alu([&](unsigned lane) { return ra(lane) * rb(lane); });
         break;
-      case Op::kMulI:
+      case XOp::kMulI:
         alu([&](unsigned lane) { return ra(lane) * imm; });
         break;
-      case Op::kShlI:
-        alu([&](unsigned lane) { return ra(lane) << (imm & 63); });
+      case XOp::kShlI:
+        alu([&](unsigned lane) { return ra(lane) << imm; });
         break;
-      case Op::kShrI:
-        alu([&](unsigned lane) { return ra(lane) >> (imm & 63); });
+      case XOp::kShrI:
+        alu([&](unsigned lane) { return ra(lane) >> imm; });
         break;
-      case Op::kAnd:
+      case XOp::kAnd:
         alu([&](unsigned lane) { return ra(lane) & rb(lane); });
         break;
-      case Op::kAndI:
+      case XOp::kAndI:
         alu([&](unsigned lane) { return ra(lane) & imm; });
         break;
-      case Op::kOr:
+      case XOp::kOr:
         alu([&](unsigned lane) { return ra(lane) | rb(lane); });
         break;
-      case Op::kOrI:
+      case XOp::kOrI:
         alu([&](unsigned lane) { return ra(lane) | imm; });
         break;
-      case Op::kXor:
+      case XOp::kXor:
         alu([&](unsigned lane) { return ra(lane) ^ rb(lane); });
         break;
-      case Op::kNot:
+      case XOp::kNot:
         alu([&](unsigned lane) { return ~ra(lane); });
         break;
-      case Op::kBswap32:
+      case XOp::kBswap32:
         alu([&](unsigned lane) {
           return static_cast<std::uint64_t>(
               byteswap32(static_cast<std::uint32_t>(ra(lane))));
         });
         break;
-      case Op::kBswap64:
+      case XOp::kBswap64:
         alu([&](unsigned lane) { return byteswap64(ra(lane)); });
         break;
-      case Op::kSetp:
-      case Op::kSetpI: {
+      case XOp::kSetpEq:
         alu([&](unsigned lane) -> std::uint64_t {
-          const std::uint64_t a = ra(lane);
-          const std::uint64_t b = in.op == Op::kSetp ? rb(lane) : imm;
-          const auto sa = static_cast<std::int64_t>(a);
-          const auto sb = static_cast<std::int64_t>(b);
-          switch (in.cmp) {
-            case Cmp::kEq: return a == b;
-            case Cmp::kNe: return a != b;
-            case Cmp::kLt: return sa < sb;
-            case Cmp::kLe: return sa <= sb;
-            case Cmp::kGt: return sa > sb;
-            case Cmp::kGe: return sa >= sb;
-            case Cmp::kLtU: return a < b;
-            case Cmp::kGeU: return a >= b;
-          }
-          return 0;
+          return ra(lane) == rb(lane);
         });
         break;
-      }
-      case Op::kSreg: {
+      case XOp::kSetpNe:
         alu([&](unsigned lane) -> std::uint64_t {
-          switch (in.sreg) {
-            case Sreg::kTidX:
-              return w->warp_in_block * kWarpSize + lane;
-            case Sreg::kCtaidX:
-              return w->block->block_index;
-            case Sreg::kNtidX:
-              return w->block->launch->kl.threads_per_block;
-            case Sreg::kNctaidX:
-              return w->block->launch->kl.blocks;
-            case Sreg::kClock:
-              return static_cast<std::uint64_t>((sim_.now() + dt) /
-                                                kNanosecond);
-            case Sreg::kWarpId:
-              return w->warp_global_id;
-          }
-          return 0;
+          return ra(lane) != rb(lane);
         });
         break;
-      }
-      case Op::kBra: {
+      case XOp::kSetpLt:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return sra(lane) < srb(lane);
+        });
+        break;
+      case XOp::kSetpLe:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return sra(lane) <= srb(lane);
+        });
+        break;
+      case XOp::kSetpGt:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return sra(lane) > srb(lane);
+        });
+        break;
+      case XOp::kSetpGe:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return sra(lane) >= srb(lane);
+        });
+        break;
+      case XOp::kSetpLtU:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return ra(lane) < rb(lane);
+        });
+        break;
+      case XOp::kSetpGeU:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return ra(lane) >= rb(lane);
+        });
+        break;
+      case XOp::kSetpEqI:
+        alu([&](unsigned lane) -> std::uint64_t { return ra(lane) == imm; });
+        break;
+      case XOp::kSetpNeI:
+        alu([&](unsigned lane) -> std::uint64_t { return ra(lane) != imm; });
+        break;
+      case XOp::kSetpLtI:
+        alu([&](unsigned lane) -> std::uint64_t { return sra(lane) < simm; });
+        break;
+      case XOp::kSetpLeI:
+        alu([&](unsigned lane) -> std::uint64_t { return sra(lane) <= simm; });
+        break;
+      case XOp::kSetpGtI:
+        alu([&](unsigned lane) -> std::uint64_t { return sra(lane) > simm; });
+        break;
+      case XOp::kSetpGeI:
+        alu([&](unsigned lane) -> std::uint64_t { return sra(lane) >= simm; });
+        break;
+      case XOp::kSetpLtUI:
+        alu([&](unsigned lane) -> std::uint64_t { return ra(lane) < imm; });
+        break;
+      case XOp::kSetpGeUI:
+        alu([&](unsigned lane) -> std::uint64_t { return ra(lane) >= imm; });
+        break;
+      case XOp::kSregTid:
+        alu([&](unsigned lane) -> std::uint64_t {
+          return w->warp_in_block * kWarpSize + lane;
+        });
+        break;
+      case XOp::kSregCtaid:
+        alu([&](unsigned) -> std::uint64_t { return w->block->block_index; });
+        break;
+      case XOp::kSregNtid:
+        alu([&](unsigned) -> std::uint64_t {
+          return w->block->launch->kl.threads_per_block;
+        });
+        break;
+      case XOp::kSregNctaid:
+        alu([&](unsigned) -> std::uint64_t {
+          return w->block->launch->kl.blocks;
+        });
+        break;
+      case XOp::kSregClock:
+        alu([&](unsigned) {
+          return static_cast<std::uint64_t>((sim_.now() + dt) / kNanosecond);
+        });
+        break;
+      case XOp::kSregWarpId:
+        alu([&](unsigned) { return w->warp_global_id; });
+        break;
+      case XOp::kBraAlways:
+        ++counters_.branches;
+        if (ws.branch(ws.mask(), in.target)) ++counters_.divergent_branches;
+        break;
+      case XOp::kBraIfTrue:
+      case XOp::kBraIfFalse: {
+        const bool want = in.op == XOp::kBraIfTrue;
         LaneMask taken = 0;
-        if (in.cond == BraCond::kAlways) {
-          taken = ws.mask();
-        } else {
-          ws.for_each_active([&](unsigned lane) {
-            bool t = ws.reg(lane, in.ra) != 0;
-            if (in.cond == BraCond::kIfFalse) t = !t;
-            if (t) taken |= (1u << lane);
-          });
-        }
+        ws.for_each_active([&](unsigned lane) {
+          if ((ws.reg(lane, in.ra) != 0) == want) taken |= (1u << lane);
+        });
         ++counters_.branches;
         if (ws.branch(taken, in.target)) ++counters_.divergent_branches;
         break;
       }
-      case Op::kSsy:
+      case XOp::kSsy:
         ws.push_sync(in.target);
         ws.set_pc(ws.pc() + 1);
         break;
-      case Op::kCall:
+      case XOp::kCall:
         ws.call(in.target);
         break;
-      case Op::kRet:
+      case XOp::kRet:
         ws.ret();
         break;
-      case Op::kExit:
+      case XOp::kExit:
         ws.exit_active();
         break;
-      case Op::kMembarSys:
+      case XOp::kMembarSys:
         dt += cycles(cfg_.membar_cycles);
         ws.set_pc(ws.pc() + 1);
         break;
-      case Op::kBarSync: {
+      case XOp::kBarSync: {
         ws.set_pc(ws.pc() + 1);
         BlockState& block = *w->block;
         block.barrier_parked.push_back(w);
@@ -679,14 +831,14 @@ void Gpu::run_warp(std::shared_ptr<WarpExec> w) {
         }
         return;  // parked until the barrier releases
       }
-      case Op::kLd:
+      case XOp::kLd:
         if (exec_load(w, in, dt)) return;
         break;
-      case Op::kSt:
+      case XOp::kSt:
         exec_store(w, in, dt);
         break;
-      case Op::kAtomAdd:
-      case Op::kAtomExch:
+      case XOp::kAtomAdd:
+      case XOp::kAtomExch:
         if (exec_atomic(w, in, dt)) return;
         break;
     }

@@ -142,11 +142,11 @@ class Gpu : public pcie::Endpoint {
 
   /// Executes LD for the warp; returns true if the warp was suspended
   /// (continuation scheduled) and the caller must stop the inline slice.
-  bool exec_load(const std::shared_ptr<WarpExec>& w, const Instr& in,
+  bool exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                  SimDuration& dt);
-  void exec_store(const std::shared_ptr<WarpExec>& w, const Instr& in,
+  void exec_store(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                   SimDuration& dt);
-  bool exec_atomic(const std::shared_ptr<WarpExec>& w, const Instr& in,
+  bool exec_atomic(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                    SimDuration& dt);
 
   sim::Simulation& sim_;

@@ -137,6 +137,74 @@ std::string Instr::to_string() const {
   return buf;
 }
 
+namespace {
+
+XOp predecode_op(const Instr& in) {
+  const auto offset = [](XOp base, unsigned idx) {
+    return static_cast<XOp>(static_cast<unsigned>(base) + idx);
+  };
+  switch (in.op) {
+    case Op::kNop: return XOp::kNop;
+    case Op::kMovI: return XOp::kMovI;
+    case Op::kMov: return XOp::kMov;
+    case Op::kAdd: return XOp::kAdd;
+    case Op::kAddI: return XOp::kAddI;
+    case Op::kSub: return XOp::kSub;
+    case Op::kMul: return XOp::kMul;
+    case Op::kMulI: return XOp::kMulI;
+    case Op::kShlI: return XOp::kShlI;
+    case Op::kShrI: return XOp::kShrI;
+    case Op::kAnd: return XOp::kAnd;
+    case Op::kAndI: return XOp::kAndI;
+    case Op::kOr: return XOp::kOr;
+    case Op::kOrI: return XOp::kOrI;
+    case Op::kXor: return XOp::kXor;
+    case Op::kNot: return XOp::kNot;
+    case Op::kBswap32: return XOp::kBswap32;
+    case Op::kBswap64: return XOp::kBswap64;
+    case Op::kSetp:
+      return offset(XOp::kSetpEq, static_cast<unsigned>(in.cmp));
+    case Op::kSetpI:
+      return offset(XOp::kSetpEqI, static_cast<unsigned>(in.cmp));
+    case Op::kSreg:
+      return offset(XOp::kSregTid, static_cast<unsigned>(in.sreg));
+    case Op::kBra:
+      return offset(XOp::kBraAlways, static_cast<unsigned>(in.cond));
+    case Op::kSsy: return XOp::kSsy;
+    case Op::kCall: return XOp::kCall;
+    case Op::kRet: return XOp::kRet;
+    case Op::kExit: return XOp::kExit;
+    case Op::kMembarSys: return XOp::kMembarSys;
+    case Op::kBarSync: return XOp::kBarSync;
+    case Op::kLd: return XOp::kLd;
+    case Op::kSt: return XOp::kSt;
+    case Op::kAtomAdd: return XOp::kAtomAdd;
+    case Op::kAtomExch: return XOp::kAtomExch;
+  }
+  return XOp::kNop;
+}
+
+}  // namespace
+
+const std::vector<Decoded>& Program::decoded() const {
+  if (decoded_.size() == code_.size()) return decoded_;
+  decoded_.clear();
+  decoded_.reserve(code_.size());
+  for (const Instr& in : code_) {
+    Decoded d;
+    d.op = predecode_op(in);
+    d.rd = in.rd;
+    d.ra = in.ra;
+    d.rb = in.rb;
+    d.width = in.width;
+    d.target = in.target;
+    d.imm = static_cast<std::uint64_t>(in.imm);
+    if (in.op == Op::kShlI || in.op == Op::kShrI) d.imm &= 63;
+    decoded_.push_back(d);
+  }
+  return decoded_;
+}
+
 Status Program::validate() const {
   if (code_.empty()) {
     return invalid_argument("program '" + name_ + "' is empty");

@@ -45,11 +45,13 @@ class WarpState {
     regs_[lane][r] = v;
   }
 
-  /// Applies `fn(lane)` to every active lane.
+  /// Applies `fn(lane)` to every active lane, in ascending lane order.
+  /// Iterates set bits directly: a single-lane warp (the common case in
+  /// the device put/get library) costs one iteration, not kWarpSize.
   template <typename Fn>
   void for_each_active(Fn&& fn) const {
-    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-      if (mask_ & (1u << lane)) fn(lane);
+    for (LaneMask m = mask_; m != 0; m &= m - 1) {
+      fn(static_cast<unsigned>(__builtin_ctz(m)));
     }
   }
 

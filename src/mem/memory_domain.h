@@ -58,28 +58,73 @@ class MemoryDomain {
   }
 
   std::uint64_t read_u64(Addr addr) const {
-    std::uint8_t buf[8] = {};
-    read(addr, buf);
-    std::uint64_t v;
-    std::memcpy(&v, buf, 8);
-    return v;
+    const Space s = AddressMap::classify(addr);
+    if (s == Space::kHostDram) {
+      return host_dram_.read_u64(addr - AddressMap::kHostDramBase);
+    }
+    assert(s == Space::kGpuDram && "MemoryDomain::read_u64 on non-DRAM");
+    return gpu_dram_.read_u64(addr - AddressMap::kGpuDramBase);
   }
   std::uint32_t read_u32(Addr addr) const {
-    std::uint8_t buf[4] = {};
-    read(addr, buf);
-    std::uint32_t v;
-    std::memcpy(&v, buf, 4);
-    return v;
+    const Space s = AddressMap::classify(addr);
+    if (s == Space::kHostDram) {
+      return host_dram_.read_u32(addr - AddressMap::kHostDramBase);
+    }
+    assert(s == Space::kGpuDram && "MemoryDomain::read_u32 on non-DRAM");
+    return gpu_dram_.read_u32(addr - AddressMap::kGpuDramBase);
   }
   void write_u64(Addr addr, std::uint64_t v) {
-    std::uint8_t buf[8];
-    std::memcpy(buf, &v, 8);
-    write(addr, buf);
+    const Space s = AddressMap::classify(addr);
+    if (s == Space::kHostDram) {
+      host_dram_.write_u64(addr - AddressMap::kHostDramBase, v);
+      return;
+    }
+    assert(s == Space::kGpuDram && "MemoryDomain::write_u64 on non-DRAM");
+    gpu_dram_.write_u64(addr - AddressMap::kGpuDramBase, v);
   }
   void write_u32(Addr addr, std::uint32_t v) {
-    std::uint8_t buf[4];
-    std::memcpy(buf, &v, 4);
-    write(addr, buf);
+    const Space s = AddressMap::classify(addr);
+    if (s == Space::kHostDram) {
+      host_dram_.write_u32(addr - AddressMap::kHostDramBase, v);
+      return;
+    }
+    assert(s == Space::kGpuDram && "MemoryDomain::write_u32 on non-DRAM");
+    gpu_dram_.write_u32(addr - AddressMap::kGpuDramBase, v);
+  }
+
+  /// Width-dispatched scalar load (zero-extended) / store for the GPU
+  /// interpreter: one space classification, then the in-page typed fast
+  /// path of the backing SparseMemory. Width must be 1, 2, 4 or 8.
+  std::uint64_t load_scalar(Addr addr, unsigned width) const {
+    const Space s = AddressMap::classify(addr);
+    const SparseMemory& m =
+        s == Space::kHostDram ? host_dram_ : gpu_dram_;
+    assert((s == Space::kHostDram || s == Space::kGpuDram) &&
+           "MemoryDomain::load_scalar on non-DRAM address");
+    const std::uint64_t off =
+        addr - (s == Space::kHostDram ? AddressMap::kHostDramBase
+                                      : AddressMap::kGpuDramBase);
+    switch (width) {
+      case 1: return m.read_u8(off);
+      case 2: return m.read_u16(off);
+      case 4: return m.read_u32(off);
+      default: return m.read_u64(off);
+    }
+  }
+  void store_scalar(Addr addr, unsigned width, std::uint64_t v) {
+    const Space s = AddressMap::classify(addr);
+    SparseMemory& m = s == Space::kHostDram ? host_dram_ : gpu_dram_;
+    assert((s == Space::kHostDram || s == Space::kGpuDram) &&
+           "MemoryDomain::store_scalar on non-DRAM address");
+    const std::uint64_t off =
+        addr - (s == Space::kHostDram ? AddressMap::kHostDramBase
+                                      : AddressMap::kGpuDramBase);
+    switch (width) {
+      case 1: m.write_u8(off, static_cast<std::uint8_t>(v)); break;
+      case 2: m.write_u16(off, static_cast<std::uint16_t>(v)); break;
+      case 4: m.write_u32(off, static_cast<std::uint32_t>(v)); break;
+      default: m.write_u64(off, v); break;
+    }
   }
 
  private:

@@ -16,7 +16,7 @@ void SparseMemory::read(std::uint64_t offset,
     const std::size_t chunk = static_cast<std::size_t>(
         std::min<std::uint64_t>(kPageSize - page_offset,
                                 out.size() - produced));
-    if (const Page* page = find_page(page_index)) {
+    if (const Page* page = lookup_page(page_index)) {
       std::memcpy(out.data() + produced, page->data() + page_offset, chunk);
     } else {
       std::memset(out.data() + produced, 0, chunk);
@@ -44,12 +44,24 @@ void SparseMemory::write(std::uint64_t offset,
   }
 }
 
+const SparseMemory::Page* SparseMemory::lookup_page_slow(
+    std::uint64_t index) const {
+  auto it = pages_.find(index);
+  Page* page = it == pages_.end() ? nullptr : it->second.get();
+  cached_index_ = index;
+  cached_page_ = page;  // caches "absent" too; writes refresh the entry
+  return page;
+}
+
 SparseMemory::Page& SparseMemory::get_or_create_page(std::uint64_t index) {
+  if (index == cached_index_ && cached_page_ != nullptr) return *cached_page_;
   auto it = pages_.find(index);
   if (it == pages_.end()) {
     it = pages_.emplace(index, std::make_unique<Page>()).first;
     it->second->fill(0);
   }
+  cached_index_ = index;
+  cached_page_ = it->second.get();
   return *it->second;
 }
 

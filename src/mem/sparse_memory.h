@@ -4,9 +4,24 @@
 // of the 4 GiB regions stay untouched, so backing store is allocated
 // lazily in 4 KiB pages. Unwritten bytes read as zero, matching
 // zero-initialized DRAM in the model.
+//
+// Fast paths (this is the simulator's hottest data plane):
+//   - a one-entry last-page cache short-circuits the hash lookup that
+//     dominates repeated accesses to the same page (polling loops, DMA
+//     chunk streams, warp-coalesced loads);
+//   - typed u8/u16/u32/u64 accessors copy directly between the page and
+//     the value when the access stays inside one page, instead of going
+//     read-into-buffer-then-memcpy through the span path;
+//   - span_in_page/span_in_page_mut expose the backing bytes of a
+//     page-contiguous range directly, so bulk movers (pcie/dma.cc, the
+//     NIC payload engines via MemoryDomain, the GPU's coalesced warp
+//     accesses) can copy once with no intermediate staging.
+// Page pointers are stable (node-based map, pages are only dropped by
+// clear()), which is what makes caching and span hand-out safe.
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -38,53 +53,96 @@ class SparseMemory {
   void write(std::uint64_t offset, std::span<const std::uint8_t> in);
 
   std::uint64_t read_u64(std::uint64_t offset) const {
-    std::uint64_t v = 0;
-    std::array<std::uint8_t, 8> buf{};
-    read(offset, buf);
-    std::memcpy(&v, buf.data(), 8);
-    return v;
+    return read_typed<std::uint64_t>(offset);
   }
   std::uint32_t read_u32(std::uint64_t offset) const {
-    std::uint32_t v = 0;
-    std::array<std::uint8_t, 4> buf{};
-    read(offset, buf);
-    std::memcpy(&v, buf.data(), 4);
-    return v;
+    return read_typed<std::uint32_t>(offset);
+  }
+  std::uint16_t read_u16(std::uint64_t offset) const {
+    return read_typed<std::uint16_t>(offset);
   }
   std::uint8_t read_u8(std::uint64_t offset) const {
-    std::uint8_t v = 0;
-    read(offset, {&v, 1});
-    return v;
+    return read_typed<std::uint8_t>(offset);
   }
 
   void write_u64(std::uint64_t offset, std::uint64_t v) {
-    std::array<std::uint8_t, 8> buf;
-    std::memcpy(buf.data(), &v, 8);
-    write(offset, buf);
+    write_typed(offset, v);
   }
   void write_u32(std::uint64_t offset, std::uint32_t v) {
-    std::array<std::uint8_t, 4> buf;
-    std::memcpy(buf.data(), &v, 4);
-    write(offset, buf);
+    write_typed(offset, v);
   }
-  void write_u8(std::uint64_t offset, std::uint8_t v) { write(offset, {&v, 1}); }
+  void write_u16(std::uint64_t offset, std::uint16_t v) {
+    write_typed(offset, v);
+  }
+  void write_u8(std::uint64_t offset, std::uint8_t v) { write_typed(offset, v); }
+
+  /// Direct pointer to the backing bytes of [offset, offset+len) when the
+  /// range lies inside one *resident* page; nullptr when the page is
+  /// absent (bytes read as zero) or the range straddles a page boundary.
+  const std::uint8_t* span_in_page(std::uint64_t offset,
+                                   std::uint64_t len) const {
+    if (offset % kPageSize + len > kPageSize) return nullptr;
+    const Page* p = lookup_page(offset / kPageSize);
+    return p ? p->data() + offset % kPageSize : nullptr;
+  }
+
+  /// Writable variant: allocates the page. nullptr only on a straddle.
+  std::uint8_t* span_in_page_mut(std::uint64_t offset, std::uint64_t len) {
+    if (offset % kPageSize + len > kPageSize) return nullptr;
+    return get_or_create_page(offset / kPageSize).data() + offset % kPageSize;
+  }
 
   /// Releases all pages (contents revert to zero).
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    cached_index_ = kNoPage;
+    cached_page_ = nullptr;
+  }
 
   std::size_t resident_pages() const { return pages_.size(); }
 
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
-  const Page* find_page(std::uint64_t index) const {
-    auto it = pages_.find(index);
-    return it == pages_.end() ? nullptr : it->second.get();
+  const Page* lookup_page(std::uint64_t index) const {
+    if (index == cached_index_) return cached_page_;
+    return lookup_page_slow(index);
   }
+  const Page* lookup_page_slow(std::uint64_t index) const;
   Page& get_or_create_page(std::uint64_t index);
+
+  template <typename T>
+  T read_typed(std::uint64_t offset) const {
+    assert(in_bounds(offset, sizeof(T)) && "SparseMemory read out of bounds");
+    if (offset % kPageSize + sizeof(T) <= kPageSize) [[likely]] {
+      const Page* p = lookup_page(offset / kPageSize);
+      if (p == nullptr) return T{0};
+      T v;
+      std::memcpy(&v, p->data() + offset % kPageSize, sizeof(T));
+      return v;
+    }
+    T v{0};
+    read(offset, {reinterpret_cast<std::uint8_t*>(&v), sizeof(T)});
+    return v;
+  }
+
+  template <typename T>
+  void write_typed(std::uint64_t offset, T v) {
+    assert(in_bounds(offset, sizeof(T)) && "SparseMemory write out of bounds");
+    if (offset % kPageSize + sizeof(T) <= kPageSize) [[likely]] {
+      Page& p = get_or_create_page(offset / kPageSize);
+      std::memcpy(p.data() + offset % kPageSize, &v, sizeof(T));
+      return;
+    }
+    write(offset, {reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)});
+  }
 
   std::uint64_t size_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  // Last page touched (read or write). Mutable: a const read warms it.
+  mutable std::uint64_t cached_index_ = kNoPage;
+  mutable Page* cached_page_ = nullptr;  // nullptr caches "page absent"
 };
 
 }  // namespace pg::mem

@@ -27,7 +27,9 @@ std::vector<std::uint8_t> ExtollNic::Frame::encode() const {
   std::memcpy(&bytes[8], &offset, 8);
   std::memcpy(&bytes[16], &src_nla, 8);
   std::memcpy(&bytes[24], &dst_nla, 8);
-  std::memcpy(bytes.data() + 32, payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(bytes.data() + 32, payload.data(), payload.size());
+  }
   return bytes;
 }
 
@@ -342,8 +344,12 @@ void ExtollNic::handle_put_segment(const Frame& f) {
   const SimTime start = std::max(sim_.now(), completer_busy_until_);
   completer_busy_until_ = start + core_cycles(cfg_.completer_cycles) +
                           core_rate().transfer_time(seg);
-  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() {
-    dma_->write(dst, f.payload, [this, f] {
+  // Move the payload out of the frame before the DMA write so the
+  // completion callback carries only frame metadata, not another copy of
+  // the data.
+  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() mutable {
+    std::vector<std::uint8_t> payload = std::move(f.payload);
+    dma_->write(dst, std::move(payload), [this, f = std::move(f)] {
       if (!f.last) return;
       ++puts_completed_;
       if (obs::metrics()) obs::count("extoll.puts_completed");
@@ -435,8 +441,9 @@ void ExtollNic::handle_get_response(const Frame& f) {
   const SimTime start = std::max(sim_.now(), completer_busy_until_);
   completer_busy_until_ = start + core_cycles(cfg_.completer_cycles) +
                           core_rate().transfer_time(seg);
-  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() {
-    dma_->write(dst, f.payload, [this, f] {
+  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() mutable {
+    std::vector<std::uint8_t> payload = std::move(f.payload);
+    dma_->write(dst, std::move(payload), [this, f = std::move(f)] {
       if (!f.last) return;
       ++gets_completed_;
       if (obs::metrics()) obs::count("extoll.gets_completed");

@@ -44,7 +44,9 @@ std::vector<std::uint8_t> Hca::Frame::encode() const {
   std::memcpy(&bytes[20], &offset, 8);
   std::memcpy(&bytes[28], &raddr, 8);
   std::memcpy(&bytes[36], &rkey, 4);
-  std::memcpy(bytes.data() + 44, payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(bytes.data() + 44, payload.data(), payload.size());
+  }
   return bytes;
 }
 

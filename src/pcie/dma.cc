@@ -62,19 +62,27 @@ void DmaEngine::write(mem::Addr addr, std::vector<std::uint8_t> data,
                       std::function<void()> on_done) {
   assert(!data.empty());
   const std::uint64_t total = data.size();
-  std::uint64_t offset = 0;
+  // Single-chunk payloads (the message-rate workload: tiny puts) move
+  // straight into the fabric - no shared-buffer machinery.
+  if (total <= cfg_.write_chunk_size) {
+    ++writes_issued_;
+    fabric_.write(self_, addr, std::move(data), std::move(on_done));
+    return;
+  }
   // Posted writes: issue all chunks back to back; the link model
   // serializes them. Only the final chunk carries the completion callback
-  // ("last byte landed").
+  // ("last byte landed"). All chunks alias one shared payload buffer, so
+  // chunking a large put costs zero extra copies on the DMA side.
+  auto payload = std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(data));
+  std::uint64_t offset = 0;
   while (offset < total) {
-    const auto chunk = static_cast<std::uint64_t>(std::min<std::uint64_t>(
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         cfg_.write_chunk_size, total - offset));
-    std::vector<std::uint8_t> piece(data.begin() + offset,
-                                    data.begin() + offset + chunk);
     const bool last = offset + chunk == total;
     ++writes_issued_;
-    fabric_.write(self_, addr + offset, std::move(piece),
-                  last ? std::move(on_done) : std::function<void()>{});
+    fabric_.write_shared(self_, addr + offset, payload, offset, chunk,
+                         last ? std::move(on_done) : std::function<void()>{});
     offset += chunk;
   }
 }

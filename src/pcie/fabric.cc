@@ -67,25 +67,25 @@ void Fabric::apply_write(EndpointId target, Addr addr,
   ports_[target].device->inbound_write(addr, data);
 }
 
-void Fabric::write(EndpointId src, Addr addr, std::vector<std::uint8_t> data,
-                   std::function<void()> on_delivered) {
-  EndpointId target = kRootComplex;
+bool Fabric::post_write_timing(EndpointId src, Addr addr, std::uint64_t len,
+                               EndpointId& target, SimTime& delivery) {
+  target = kRootComplex;
   if (!route(addr, target)) {
     PG_ERROR("pcie", "write to unrouted address 0x%llx",
              static_cast<unsigned long long>(addr));
     assert(false && "pcie write to unrouted address");
-    return;
+    return false;
   }
   ++transactions_;
   const SimTime now = sim_.now();
   // Upstream traversal (issuer side), skipped for the root complex.
   SimTime t = now;
   if (src != kRootComplex) {
-    t = ports_[src].up->occupy(now, data.size());
+    t = ports_[src].up->occupy(now, len);
   }
   // Downstream traversal (target side), skipped for host DRAM.
   if (target != kRootComplex) {
-    t = ports_[target].down->occupy(t, data.size());
+    t = ports_[target].down->occupy(t, len);
   } else {
     t += cfg_.host_dram_latency;
   }
@@ -97,14 +97,42 @@ void Fabric::write(EndpointId src, Addr addr, std::vector<std::uint8_t> data,
   if (obs::enabled()) {
     obs::span("pcie", "tlp", "write", now, t,
               {{"addr", addr},
-               {"bytes", data.size()},
+               {"bytes", len},
                {"src", ports_[src].name},
                {"dst", ports_[target].name}});
   }
+  delivery = t;
+  return true;
+}
+
+void Fabric::write(EndpointId src, Addr addr, std::vector<std::uint8_t> data,
+                   std::function<void()> on_delivered) {
+  EndpointId target = kRootComplex;
+  SimTime t = 0;
+  if (!post_write_timing(src, addr, data.size(), target, t)) return;
   sim_.schedule_at(
       t, [this, target, addr, data = std::move(data),
           cb = std::move(on_delivered)]() {
         apply_write(target, addr, data);
+        if (cb) cb();
+      });
+}
+
+void Fabric::write_shared(
+    EndpointId src, Addr addr,
+    std::shared_ptr<const std::vector<std::uint8_t>> payload,
+    std::uint64_t offset, std::uint32_t len,
+    std::function<void()> on_delivered) {
+  assert(payload && offset + len <= payload->size());
+  EndpointId target = kRootComplex;
+  SimTime t = 0;
+  if (!post_write_timing(src, addr, len, target, t)) return;
+  sim_.schedule_at(
+      t, [this, target, addr, payload = std::move(payload), offset, len,
+          cb = std::move(on_delivered)]() {
+        apply_write(target, addr,
+                    std::span<const std::uint8_t>(payload->data() + offset,
+                                                  len));
         if (cb) cb();
       });
 }

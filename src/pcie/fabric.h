@@ -77,6 +77,16 @@ class Fabric {
   void write(EndpointId src, Addr addr, std::vector<std::uint8_t> data,
              std::function<void()> on_delivered = {});
 
+  /// Posted write whose payload is a window into a shared buffer:
+  /// [offset, offset+len) of `*payload`. The DMA engine uses this to
+  /// chunk one payload into many TLPs that all alias a single
+  /// allocation instead of copying each piece. Timing is identical to
+  /// the vector overload.
+  void write_shared(EndpointId src, Addr addr,
+                    std::shared_ptr<const std::vector<std::uint8_t>> payload,
+                    std::uint64_t offset, std::uint32_t len,
+                    std::function<void()> on_delivered = {});
+
   /// Split read of `len` bytes at `addr`, issued by `src`. `on_data` runs
   /// when the completion arrives back at the issuer.
   void read(EndpointId src, Addr addr, std::uint32_t len,
@@ -115,6 +125,12 @@ class Fabric {
   /// Serves a read at the routing target, returning data-ready time.
   SimTime serve_read(EndpointId target, SimTime arrival, Addr addr,
                      std::span<std::uint8_t> out);
+
+  /// Shared front half of the posted-write overloads: routes `addr`,
+  /// occupies the wire for `len` bytes, and emits observability records.
+  /// Returns the delivery time, or false when the address routes nowhere.
+  bool post_write_timing(EndpointId src, Addr addr, std::uint64_t len,
+                         EndpointId& target, SimTime& delivery);
 
   /// Applies a write at the routing target.
   void apply_write(EndpointId target, Addr addr,

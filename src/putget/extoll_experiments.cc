@@ -232,6 +232,7 @@ PingPongResult run_extoll_pingpong(const sys::ClusterConfig& cfg,
   result.payload_ok =
       ranges_equal(n0, s.send0, n1, s.recv1, size) &&
       ranges_equal(n1, s.send1, n0, s.recv0, size);
+  result.events_scheduled = cluster.sim().total_scheduled();
   return result;
 }
 
@@ -482,7 +483,11 @@ MessageRateResult run_extoll_msgrate(const sys::ClusterConfig& cfg,
             });
       };
       (*round)(0);
-      if (!run_to(cluster, [&] { return all_done.fired(); })) return result;
+      const bool ok = run_to(cluster, [&] { return all_done.fired(); });
+      // The closure captures `round` by value - break the self-ownership
+      // cycle so the shared state is actually released.
+      *round = {};
+      if (!ok) return result;
     } else {
       // Kernels variant: enqueue every round up front; streams serialize
       // kernels per connection while connections overlap.

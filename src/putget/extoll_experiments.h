@@ -17,6 +17,9 @@ struct PingPongResult {
   std::uint32_t iterations = 0;
   bool payload_ok = false;
   gpu::PerfCounters gpu0;       // initiator-GPU counter delta (Table I)
+  /// Total events the cluster simulation ever scheduled: a determinism
+  /// fingerprint - two runs of the same experiment must agree exactly.
+  std::uint64_t events_scheduled = 0;
 };
 
 struct BandwidthResult {

@@ -529,7 +529,11 @@ MessageRateResult run_ib_msgrate(const sys::ClusterConfig& cfg,
         }
       };
       (*round)(0);
-      if (!run_to(cluster, [&] { return all_done.fired(); })) return result;
+      const bool ok = run_to(cluster, [&] { return all_done.fired(); });
+      // The closure captures `round` by value - break the self-ownership
+      // cycle so the shared state is actually released.
+      *round = {};
+      if (!ok) return result;
     } else {
       std::uint32_t finished = 0;
       for (std::uint32_t i = 0; i < pairs; ++i) {

@@ -8,6 +8,10 @@
 // GPU device code does NOT use coroutines — it is interpreted from the
 // PTX-lite ISA so that instruction and memory-transaction counts emerge
 // from real code (see gpu/).
+//
+// The resume/poll lambdas scheduled here capture at most a coroutine
+// handle plus a pointer; they fit EventFn's inline buffer, so suspending
+// and resuming a coroutine never heap-allocates in the event queue.
 #pragma once
 
 #include <cassert>

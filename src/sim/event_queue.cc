@@ -7,46 +7,79 @@ namespace pg::sim {
 
 EventId EventQueue::schedule_at(SimTime when, EventFn fn) {
   const EventId id = next_seq_++;
-  heap_.push(Entry{when, id, std::move(fn)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  }
+  heap_.push_back(Entry{when, id, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId || id >= next_seq_) return false;
-  // Tombstone; verified lazily at pop time. We cannot check membership in
-  // the heap cheaply, so trust the caller not to cancel twice.
-  cancelled_.push_back(id);
+  // Tombstone; reclaimed at pop time or by compaction. The set makes a
+  // double cancel a detected no-op; cancelling an id that already ran
+  // remains the caller's bug (heap membership is not cheaply checkable).
+  if (!cancelled_.insert(id).second) return false;
   if (live_count_ > 0) --live_count_;
+  // Keep tombstone memory proportional to the live set: once more than
+  // half the heap is dead weight, rebuild it without the corpses.
+  if (cancelled_.size() > live_count_ / 2 && cancelled_.size() >= 16) {
+    compact();
+  }
   return true;
 }
 
+void EventQueue::release_slot(std::uint32_t slot) {
+  slots_[slot] = EventFn{};  // destroy captured state promptly
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) {
+    if (cancelled_.count(e.seq) == 0) return false;
+    release_slot(e.slot);
+    return true;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
+}
+
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty()) {
-    const EventId id = heap_.top().seq;
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  while (!heap_.empty() && !cancelled_.empty()) {
+    auto it = cancelled_.find(heap_.front().seq);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    // priority_queue::pop destroys the entry (and its closure).
-    heap_.pop();
+    release_slot(heap_.front().slot);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() const {
   auto* self = const_cast<EventQueue*>(this);
   self->drop_cancelled();
-  assert(!heap_.empty());
-  return heap_.top().time;
+  assert(!self->heap_.empty());
+  return self->heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
-  // priority_queue::top is const; move out via const_cast, which is safe
-  // because we pop immediately afterwards.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, top.seq, std::move(top.fn)};
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry back = heap_.back();
+  heap_.pop_back();
+  // Moving out leaves the slot's InlineFn empty, so recycling it is a
+  // no-op destroy.
+  Popped out{back.time, back.seq, std::move(slots_[back.slot])};
+  free_slots_.push_back(back.slot);
   assert(live_count_ > 0);
   --live_count_;
   return out;

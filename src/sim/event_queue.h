@@ -4,18 +4,25 @@
 // makes execution order of same-timestamp events deterministic (FIFO in
 // scheduling order), which the whole simulator relies on for reproducible
 // runs.
+//
+// Layout: the heap itself holds 24-byte POD entries (time, seq, slot),
+// so sift-up/down moves are plain memcpys; the callbacks live in a
+// side pool of recycled slots that heap reordering never touches.
+// Callbacks are InlineFn (see inline_fn.h): scheduling a lambda does not
+// allocate unless its captures exceed the inline buffer, and the slot
+// pool reaches steady state at the maximum number of in-flight events.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/inline_fn.h"
 
 namespace pg::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /// Identifies a scheduled event so it can be cancelled.
 using EventId = std::uint64_t;
@@ -46,11 +53,16 @@ class EventQueue {
 
   std::uint64_t total_scheduled() const { return next_seq_ - 1; }
 
+  /// Number of cancelled-but-not-yet-reclaimed entries (bounded: a
+  /// compaction pass runs whenever tombstones exceed half the live
+  /// count, so cancel-heavy workloads cannot grow the heap unboundedly).
+  std::size_t tombstones() const { return cancelled_.size(); }
+
  private:
   struct Entry {
     SimTime time;
-    EventId seq;  // doubles as the event id
-    EventFn fn;
+    EventId seq;         // doubles as the event id
+    std::uint32_t slot;  // index into slots_
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -59,10 +71,19 @@ class EventQueue {
     }
   };
 
+  /// Discards cancelled entries sitting at the top of the heap.
   void drop_cancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<EventId> cancelled_;  // sorted-on-demand tombstones
+  /// Removes every tombstoned entry from the heap and re-heapifies.
+  void compact();
+
+  /// Destroys the callable in `slot` and recycles the slot.
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Entry> heap_;
+  std::vector<EventFn> slots_;             // parked callables
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
+  std::unordered_set<EventId> cancelled_;  // tombstones, O(1) membership
   std::size_t live_count_ = 0;
   EventId next_seq_ = 1;
 };

@@ -52,6 +52,10 @@ class Simulation {
   bool idle() const { return queue_.empty(); }
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Total events ever scheduled (a determinism fingerprint: two runs of
+  /// the same experiment must agree on it exactly).
+  std::uint64_t total_scheduled() const { return queue_.total_scheduled(); }
+
   /// Safety valve: run() aborts (with an assertion in debug builds, by
   /// returning in release builds) after this many events. Guards against
   /// accidental event storms in model bugs.

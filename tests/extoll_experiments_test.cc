@@ -137,5 +137,32 @@ TEST(ExtollExperiments, MessageRateScalesWithPairs) {
   EXPECT_GT(eight.msgs_per_s, 2.0 * one.msgs_per_s);
 }
 
+// The whole simulator is supposed to be deterministic: two in-process
+// runs of the same experiment must agree bit-for-bit, in the measured
+// series AND in the event-count fingerprint. This is the guard that the
+// performance fast paths (inline events, predecoded interpreter, paged
+// memory) stay behaviour-preserving.
+TEST(ExtollExperiments, PingPongIsDeterministic) {
+  const auto cfg = sys::extoll_testbed();
+  for (std::uint32_t size : {4u, 1024u, 65536u}) {
+    const auto r1 =
+        run_extoll_pingpong(cfg, TransferMode::kGpuDirect, size, 10);
+    const auto r2 =
+        run_extoll_pingpong(cfg, TransferMode::kGpuDirect, size, 10);
+    ASSERT_TRUE(r1.payload_ok && r2.payload_ok) << size;
+    // Exact equality on doubles is intentional: same events, same order,
+    // same arithmetic.
+    EXPECT_EQ(r1.half_rtt_us, r2.half_rtt_us) << size;
+    EXPECT_EQ(r1.post_sum_us, r2.post_sum_us) << size;
+    EXPECT_EQ(r1.poll_sum_us, r2.poll_sum_us) << size;
+    EXPECT_GT(r1.events_scheduled, 0u);
+    EXPECT_EQ(r1.events_scheduled, r2.events_scheduled) << size;
+    EXPECT_EQ(r1.gpu0.instructions_executed, r2.gpu0.instructions_executed);
+    EXPECT_EQ(r1.gpu0.branches, r2.gpu0.branches);
+    EXPECT_EQ(r1.gpu0.l2_read_hits, r2.gpu0.l2_read_hits);
+    EXPECT_EQ(r1.gpu0.l2_read_misses, r2.gpu0.l2_read_misses);
+  }
+}
+
 }  // namespace
 }  // namespace pg::putget

@@ -2,6 +2,7 @@
 // and registration (the NICs' protection model).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -104,6 +105,88 @@ TEST(SparseMemory, ClearReleasesPages) {
   m.clear();
   EXPECT_EQ(m.resident_pages(), 0u);
   EXPECT_EQ(m.read_u64(0), 0u);
+}
+
+// The typed accessors take an in-page fast path; the span read/write is
+// the reference implementation. Randomized equivalence over aligned,
+// unaligned, and page-straddling offsets keeps the two in lockstep.
+TEST(SparseMemory, PropertyTypedMatchesSpanPath) {
+  constexpr std::uint64_t kSize = 1 << 20;
+  SparseMemory typed(kSize);
+  SparseMemory spans(kSize);
+  Rng rng(777);
+  auto random_offset = [&](std::uint64_t width) -> std::uint64_t {
+    switch (rng.next_below(3)) {
+      case 0:  // aligned
+        return (rng.next_below(kSize / 8 - 1)) * 8;
+      case 1:  // unaligned, anywhere
+        return rng.next_below(kSize - width);
+      default: {  // hugging (and often straddling) a page boundary
+        const std::uint64_t page = 1 + rng.next_below(kSize / 4096 - 2);
+        const std::uint64_t jitter = rng.next_below(2 * width + 1);
+        return page * 4096 - width + jitter;
+      }
+    }
+  };
+  for (int i = 0; i < 4000; ++i) {
+    const unsigned width = 1u << rng.next_below(4);  // 1, 2, 4, 8
+    const std::uint64_t off = random_offset(width);
+    std::uint64_t value = 0;
+    for (unsigned b = 0; b < width; ++b) {
+      value |= static_cast<std::uint64_t>(rng.next_byte()) << (8 * b);
+    }
+    // Write through the typed path on one store, through the span path
+    // on the other.
+    std::uint8_t raw[8];
+    std::memcpy(raw, &value, 8);
+    spans.write(off, {raw, width});
+    switch (width) {
+      case 1: typed.write_u8(off, static_cast<std::uint8_t>(value)); break;
+      case 2: typed.write_u16(off, static_cast<std::uint16_t>(value)); break;
+      case 4: typed.write_u32(off, static_cast<std::uint32_t>(value)); break;
+      default: typed.write_u64(off, value); break;
+    }
+    // Read back through the opposite path on each store; all four
+    // combinations must agree.
+    const std::uint64_t roff = random_offset(8);
+    std::uint64_t via_typed_t = typed.read_u64(roff);
+    std::uint64_t via_typed_s = spans.read_u64(roff);
+    std::uint64_t via_span_t = 0, via_span_s = 0;
+    std::uint8_t buf[8];
+    typed.read(roff, buf);
+    std::memcpy(&via_span_t, buf, 8);
+    spans.read(roff, buf);
+    std::memcpy(&via_span_s, buf, 8);
+    ASSERT_EQ(via_typed_t, via_span_t) << "iteration " << i;
+    ASSERT_EQ(via_typed_s, via_span_s) << "iteration " << i;
+    ASSERT_EQ(via_typed_t, via_typed_s) << "iteration " << i;
+  }
+}
+
+TEST(SparseMemory, SpanInPageSemantics) {
+  SparseMemory m(1 << 20);
+  // Absent page: read span is null (bytes are conceptually zero).
+  EXPECT_EQ(m.span_in_page(0, 64), nullptr);
+  // Straddle: always null, even after both pages exist.
+  m.write_u64(4096 - 8, 1);
+  m.write_u64(4096, 2);
+  EXPECT_EQ(m.span_in_page(4090, 16), nullptr);
+  EXPECT_EQ(m.span_in_page_mut(4090, 16), nullptr);
+  // Resident page: direct bytes, consistent with the typed readers.
+  const std::uint8_t* p = m.span_in_page(4096, 8);
+  ASSERT_NE(p, nullptr);
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  EXPECT_EQ(v, 2u);
+  // Mutable span allocates and writes land for ordinary readers.
+  std::uint8_t* w = m.span_in_page_mut(8192 + 16, 4);
+  ASSERT_NE(w, nullptr);
+  const std::uint32_t stamp = 0xA5A5F00Du;
+  std::memcpy(w, &stamp, 4);
+  EXPECT_EQ(m.read_u32(8192 + 16), stamp);
+  // A full page span touches exactly the page, not beyond.
+  EXPECT_NE(m.span_in_page(8192, 4096), nullptr);
+  EXPECT_EQ(m.span_in_page(8192, 4097), nullptr);
 }
 
 TEST(MemoryDomain, RoutesHostAndGpuDram) {

@@ -2,11 +2,15 @@
 // coroutine layer on top of it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "sim/coro.h"
 #include "sim/event_queue.h"
+#include "sim/inline_fn.h"
 #include "sim/simulation.h"
 
 namespace pg::sim {
@@ -55,6 +59,110 @@ TEST(EventQueue, PropertyNeverRunsOutOfOrder) {
     EXPECT_GE(popped.time, last);
     last = popped.time;
   }
+}
+
+TEST(EventQueue, CancelledIdCannotCancelTwice) {
+  EventQueue q;
+  EventId id = q.schedule_at(1, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TombstonesStayBounded) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(q.schedule_at(static_cast<SimTime>(i), [] {}));
+  }
+  // A cancel-heavy workload: compaction must keep tombstones below half
+  // the live count (modulo the small fixed floor below which compaction
+  // does not bother).
+  for (int i = 0; i < 960; ++i) {
+    ASSERT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_LE(q.tombstones(),
+              std::max<std::size_t>(q.size() / 2, 16));
+  }
+  EXPECT_EQ(q.size(), 64u);
+  // The survivors still pop in order.
+  SimTime last = -1;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    auto p = q.pop();
+    EXPECT_GT(p.time, last);
+    last = p.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 64u);
+}
+
+TEST(EventQueue, CancelInterleavedWithPops) {
+  Rng rng(99);
+  EventQueue q;
+  std::vector<EventId> live;
+  std::uint64_t executed = 0, cancelled = 0, scheduled = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      live.push_back(q.schedule_at(
+          static_cast<SimTime>(rng.next_below(500)), [&] { ++executed; }));
+      ++scheduled;
+    }
+    for (int i = 0; i < 10 && !live.empty(); ++i) {
+      const std::size_t pick = rng.next_below(live.size());
+      if (q.cancel(live[pick])) ++cancelled;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    for (int i = 0; i < 20 && !q.empty(); ++i) q.pop().fn();
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(executed + cancelled, scheduled);
+}
+
+TEST(InlineFn, SmallCapturesStayCallableThroughMoves) {
+  int hits = 0;
+  InlineFn fn([&hits] { ++hits; });
+  InlineFn moved(std::move(fn));
+  InlineFn assigned;
+  EXPECT_FALSE(static_cast<bool>(assigned));
+  assigned = std::move(moved);
+  ASSERT_TRUE(static_cast<bool>(assigned));
+  assigned();
+  assigned();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, LargeCapturesFallBackToHeapCorrectly) {
+  std::array<std::uint64_t, 32> big{};  // 256 B: beyond the inline buffer
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 7;
+  std::uint64_t sum = 0;
+  InlineFn fn([big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  InlineFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(sum, 7u * (31u * 32u / 2u));
+}
+
+TEST(InlineFn, DestroysCapturedState) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn fn([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // the closure still owns it
+  }
+  EXPECT_TRUE(watch.expired());  // destroying the fn released it
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFn fn([token] { (void)*token; });
+  token.reset();
+  fn = InlineFn([] {});
+  EXPECT_TRUE(watch.expired());
+  fn();  // replacement target is callable
 }
 
 TEST(Simulation, ClockAdvancesWithEvents) {
