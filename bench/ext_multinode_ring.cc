@@ -1,0 +1,63 @@
+// Extension: N-node ring halo exchange over both fabrics.
+//
+// Scales the paper's two-node testbed out to a ring of N GPUs and runs
+// the hybrid stencil+put workload (compute on every GPU, one-sided halo
+// puts between neighbours) over the EXTOLL RMA and InfiniBand verbs
+// backends. Every cell of the distributed result is checked against a
+// host reference of the full periodic domain; a run that fails
+// verification fails the bench.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "putget/ring_workload.h"
+#include "sys/testbed.h"
+
+int main(int argc, char** argv) {
+  pg::bench::Session session(argc, argv);
+  using namespace pg;
+  using putget::RingBackend;
+  using putget::RingConfig;
+  using putget::RingResult;
+  bench::print_title(
+      "Extension - N-node ring halo exchange, EXTOLL vs InfiniBand",
+      "per-iteration time [us] for one stencil step + halo exchange; "
+      "verified against the host reference");
+
+  const RingBackend backends[] = {RingBackend::kExtoll, RingBackend::kIb};
+  bench::SeriesTable table("nodes", {"extoll[us/iter]", "ib[us/iter]",
+                                     "extoll msgs", "ib msgs"});
+  for (int nodes : {2, 3, 4}) {
+    std::vector<double> row;
+    std::vector<double> msgs;
+    for (RingBackend backend : backends) {
+      sys::ClusterConfig cfg = backend == RingBackend::kExtoll
+                                   ? sys::extoll_testbed()
+                                   : sys::ib_testbed();
+      cfg.num_nodes = nodes;
+      cfg.topology = net::Topology::kRing;
+      RingConfig ring;
+      ring.backend = backend;
+      const RingResult r = putget::run_ring_halo_exchange(cfg, ring);
+      if (!r.verified) {
+        std::fprintf(stderr, "FAILED: %s ring with %d nodes\n",
+                     putget::ring_backend_name(backend), nodes);
+        return 1;
+      }
+      if (r.delivered != r.halo_messages) {
+        std::fprintf(stderr,
+                     "FAILED: %s ring with %d nodes delivered %llu of %llu "
+                     "halo messages\n",
+                     putget::ring_backend_name(backend), nodes,
+                     static_cast<unsigned long long>(r.delivered),
+                     static_cast<unsigned long long>(r.halo_messages));
+        return 1;
+      }
+      row.push_back(r.sim_time_us / r.iterations);
+      msgs.push_back(static_cast<double>(r.halo_messages));
+    }
+    table.add_row(std::to_string(nodes),
+                  {row[0], row[1], msgs[0], msgs[1]});
+  }
+  session.emit("ext-multinode-ring", table);
+  return 0;
+}

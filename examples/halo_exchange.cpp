@@ -1,179 +1,49 @@
-// Halo exchange: a 1-D diffusion stencil distributed over the two GPUs,
-// with per-iteration boundary exchange over the EXTOLL RMA fabric.
+// Halo exchange: a 1-D diffusion stencil distributed over a ring of
+// GPUs, with per-iteration boundary exchange over the put/get fabric.
 //
 // This is the hybrid programming model the paper's introduction
-// motivates: GPU kernels compute, one-sided puts move halos. Each node
-// owns half of a 1-D integer field; after every stencil step the
-// boundary cell is put into the neighbour's halo slot, with completer
-// notifications providing the arrival guarantee before the next step.
-//
-// The stencil kernel is written in the simulator's PTX-lite ISA - the
-// same ISA the put/get device library uses - and runs 64 threads per
-// step with a block-wide barrier, exercising real SIMT machinery.
-//
-// The distributed result is verified against a single-host reference.
+// motivates: GPU kernels compute, one-sided puts move halos. The heavy
+// lifting lives in putget/ring_workload.{h,cc} - a periodic stencil
+// whose boundary cells cross the wire every step, verified against a
+// single-host reference - and the same core backs the
+// bench/ext_multinode_ring figure. This example runs it on the default
+// four-node ring over both fabrics.
 #include <cstdio>
-#include <vector>
 
-#include "gpu/assembler.h"
-#include "putget/extoll_host.h"
+#include "putget/ring_workload.h"
 #include "sys/testbed.h"
 
 using namespace pg;
 
-namespace {
-
-constexpr std::uint32_t kCellsPerNode = 64;  // owned cells per node
-constexpr std::uint32_t kIterations = 24;
-
-// Field layout per node (u64 cells): [0] left halo, [1..64] owned,
-// [65] right halo. Two buffers alternate per step.
-constexpr std::uint64_t kFieldCells = kCellsPerNode + 2;
-
-/// Builds one diffusion step: next[i] = (cur[i-1] + cur[i+1]) / 2 for the
-/// owned cells; halos are read, not written.
-gpu::Program build_stencil_kernel() {
-  gpu::Assembler a("diffusion_step");
-  using gpu::Cmp;
-  using gpu::Reg;
-  using gpu::Sreg;
-  const Reg cur(4), next(5);  // kernel params: buffer base addresses
-  const Reg tid(8), addr(9), left(10), right(11), val(12);
-  a.sreg(tid, Sreg::kTidX);
-  // cell index = tid + 1 (skip the left halo slot)
-  a.addi(tid, tid, 1);
-  a.muli(addr, tid, 8);
-  a.add(addr, addr, cur);
-  a.ld(left, addr, -8, 8);
-  a.ld(right, addr, 8, 8);
-  a.add(val, left, right);
-  a.shri(val, val, 1);
-  a.muli(addr, tid, 8);
-  a.add(addr, addr, next);
-  a.st(addr, val, 0, 8);
-  a.exit();
-  auto p = a.finish();
-  if (!p.is_ok()) std::abort();
-  return std::move(p).value();
-}
-
-/// Host-side reference of the same scheme over the full domain.
-std::vector<std::uint64_t> reference(std::vector<std::uint64_t> field,
-                                     unsigned iterations) {
-  // field has 2*kCellsPerNode cells, fixed zero boundaries.
-  std::vector<std::uint64_t> next(field.size());
-  for (unsigned it = 0; it < iterations; ++it) {
-    for (std::size_t i = 0; i < field.size(); ++i) {
-      const std::uint64_t left = i == 0 ? 0 : field[i - 1];
-      const std::uint64_t right = i + 1 == field.size() ? 0 : field[i + 1];
-      next[i] = (left + right) / 2;
-    }
-    field.swap(next);
-  }
-  return field;
-}
-
-}  // namespace
-
 int main() {
-  sys::Cluster cluster(sys::extoll_testbed());
-  sys::Node& n0 = cluster.node(0);
-  sys::Node& n1 = cluster.node(1);
+  for (putget::RingBackend backend :
+       {putget::RingBackend::kExtoll, putget::RingBackend::kIb}) {
+    sys::ClusterConfig cfg = backend == putget::RingBackend::kExtoll
+                                 ? sys::extoll_testbed()
+                                 : sys::ib_testbed();
+    cfg.num_nodes = 4;
+    cfg.topology = net::Topology::kRing;
 
-  // Field buffers (double buffered) in each GPU's memory.
-  const mem::Addr f0[2] = {n0.gpu_heap().alloc(kFieldCells * 8, 64),
-                           n0.gpu_heap().alloc(kFieldCells * 8, 64)};
-  const mem::Addr f1[2] = {n1.gpu_heap().alloc(kFieldCells * 8, 64),
-                           n1.gpu_heap().alloc(kFieldCells * 8, 64)};
+    putget::RingConfig ring;
+    ring.backend = backend;
+    ring.cells_per_node = 64;
+    ring.iterations = 24;
 
-  // Registrations: the peer needs to write into our halo slots.
-  auto reg = [](sys::Node& n, mem::Addr a) {
-    auto r = n.extoll().register_memory(a, kFieldCells * 8,
-                                        mem::Access::kReadWrite);
-    if (!r.is_ok()) std::abort();
-    return *r;
-  };
-  const extoll::Nla nla_f0[2] = {reg(n0, f0[0]), reg(n0, f0[1])};
-  const extoll::Nla nla_f1[2] = {reg(n1, f1[0]), reg(n1, f1[1])};
-
-  auto port0 = putget::ExtollHostPort::open(n0.extoll(), 0);
-  auto port1 = putget::ExtollHostPort::open(n1.extoll(), 0);
-  if (!port0.is_ok() || !port1.is_ok()) return 1;
-
-  // Initial condition: a spike in the middle of node0's half.
-  std::vector<std::uint64_t> init(2 * kCellsPerNode, 0);
-  init[kCellsPerNode / 2] = 1 << 20;
-  init[kCellsPerNode + 3] = 1 << 16;  // and one in node1's half
-  for (std::uint32_t i = 0; i < kCellsPerNode; ++i) {
-    n0.memory().write_u64(f0[0] + (i + 1) * 8, init[i]);
-    n1.memory().write_u64(f1[0] + (i + 1) * 8, init[kCellsPerNode + i]);
-  }
-
-  const gpu::Program stencil = build_stencil_kernel();
-
-  // One distributed iteration: both GPUs step, then the boundary cells
-  // cross the wire into the neighbour halos of the *next* buffer.
-  for (std::uint32_t it = 0; it < kIterations; ++it) {
-    const int cur = it % 2;
-    const int nxt = 1 - cur;
-    bool done0 = false, done1 = false;
-    n0.gpu().launch({.program = &stencil,
-                     .threads_per_block = kCellsPerNode,
-                     .params = {f0[cur], f0[nxt]}},
-                    [&] { done0 = true; });
-    n1.gpu().launch({.program = &stencil,
-                     .threads_per_block = kCellsPerNode,
-                     .params = {f1[cur], f1[nxt]}},
-                    [&] { done1 = true; });
-    cluster.run_until([&] { return done0 && done1; });
-
-    // Halo exchange on the freshly computed buffer:
-    //   node0's rightmost owned cell -> node1's left halo,
-    //   node1's leftmost owned cell  -> node0's right halo.
-    extoll::WorkRequest right_edge;
-    right_edge.cmd = extoll::RmaCmd::kPut;
-    right_edge.port = 0;
-    right_edge.size = 8;
-    right_edge.notify_completer = true;
-    right_edge.notify_requester = true;
-    right_edge.src_nla = nla_f0[nxt] + kCellsPerNode * 8;  // owned cell 64
-    right_edge.dst_nla = nla_f1[nxt] + 0;                  // left halo
-
-    extoll::WorkRequest left_edge = right_edge;
-    left_edge.src_nla = nla_f1[nxt] + 1 * 8;               // owned cell 1
-    left_edge.dst_nla = nla_f0[nxt] + (kCellsPerNode + 1) * 8;
-
-    sim::Trigger landed0, landed1;
-    auto p0 = port0->post(n0.cpu(), right_edge);
-    auto p1 = port1->post(n1.cpu(), left_edge);
-    auto w0 = port0->wait_completer(n0.cpu(), &landed0);  // neighbour's cell
-    auto w1 = port1->wait_completer(n1.cpu(), &landed1);
-    cluster.run_until([&] { return landed0.fired() && landed1.fired(); });
-  }
-
-  // Gather and verify against the reference.
-  const int fin = kIterations % 2;
-  std::vector<std::uint64_t> got(2 * kCellsPerNode);
-  for (std::uint32_t i = 0; i < kCellsPerNode; ++i) {
-    got[i] = n0.memory().read_u64(f0[fin] + (i + 1) * 8);
-    got[kCellsPerNode + i] = n1.memory().read_u64(f1[fin] + (i + 1) * 8);
-  }
-  const auto expect = reference(init, kIterations);
-  std::uint64_t mass = 0;
-  for (std::size_t i = 0; i < got.size(); ++i) {
-    if (got[i] != expect[i]) {
-      std::fprintf(stderr, "MISMATCH at cell %zu: %llu != %llu\n", i,
-                   static_cast<unsigned long long>(got[i]),
-                   static_cast<unsigned long long>(expect[i]));
+    const putget::RingResult r = putget::run_ring_halo_exchange(cfg, ring);
+    if (!r.verified) {
+      std::fprintf(stderr, "halo exchange FAILED over %s\n",
+                   putget::ring_backend_name(backend));
       return 1;
     }
-    mass += got[i];
+    std::printf("halo exchange over %s: %u iterations on a %d-node ring "
+                "(%u cells each) verified against the host reference\n",
+                putget::ring_backend_name(backend), r.iterations,
+                r.num_nodes, r.cells_per_node);
+    std::printf("  simulated time %.1f us; %llu halo messages delivered "
+                "exactly once; field mass %llu\n",
+                r.sim_time_us,
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.checksum));
   }
-  std::printf("halo exchange: %u iterations over %u cells verified against "
-              "the host reference\n",
-              kIterations, 2 * kCellsPerNode);
-  std::printf("simulated time %.1f us; remaining field mass %llu\n",
-              to_us(cluster.sim().now()),
-              static_cast<unsigned long long>(mass));
   return 0;
 }

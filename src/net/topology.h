@@ -1,0 +1,55 @@
+// Cluster wiring plans: which point-to-point links an N-node cluster
+// instantiates, and which endpoint sits on which side.
+//
+// Links are strictly two-sided (see link.h), so every topology reduces
+// to a deterministic, insertion-ordered list of (node_a, node_b) pairs;
+// node_a always takes side 0 and node_b side 1. Route tables in the
+// NICs are filled first-wins in plan order, which keeps redundant
+// topologies (e.g. the two-node ring, where both links connect the same
+// pair) deterministic.
+#pragma once
+
+#include <vector>
+
+namespace pg::net {
+
+enum class Topology {
+  /// Disjoint pairs: (0,1), (2,3), ... — the classic two-node testbed
+  /// shape, and the default. An odd trailing node stays unlinked.
+  kPair,
+  /// Unidirectional link plan (i, (i+1) % n) for every node i; the links
+  /// themselves are bidirectional, so this is the standard ring. n = 2
+  /// degenerates to a doubly-linked pair.
+  kRing,
+};
+
+inline const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kPair: return "pair";
+    case Topology::kRing: return "ring";
+  }
+  return "?";
+}
+
+/// One physical link to create: `a` attaches at side 0, `b` at side 1.
+struct LinkPlan {
+  int a = 0;
+  int b = 0;
+};
+
+inline std::vector<LinkPlan> plan_links(Topology t, int num_nodes) {
+  std::vector<LinkPlan> plan;
+  switch (t) {
+    case Topology::kPair:
+      for (int i = 0; i + 1 < num_nodes; i += 2) plan.push_back({i, i + 1});
+      break;
+    case Topology::kRing:
+      for (int i = 0; i < num_nodes; ++i) {
+        plan.push_back({i, (i + 1) % num_nodes});
+      }
+      break;
+  }
+  return plan;
+}
+
+}  // namespace pg::net

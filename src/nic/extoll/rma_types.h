@@ -38,11 +38,17 @@ enum class RmaCmd : std::uint8_t {
 constexpr std::uint64_t kWrNotifyRequester = 1ull << 48;
 constexpr std::uint64_t kWrNotifyCompleter = 1ull << 49;
 
+/// Destination-node routing field in word 0, bits [63:50]. Stored
+/// biased by +1 so that the all-zeros encoding (every WR written before
+/// multi-node support existed) decodes back to "default peer" (-1).
+constexpr unsigned kWrDstNodeShift = 50;
+constexpr std::uint64_t kWrDstNodeMask = 0x3FFF;  // 14 bits
+
 /// A decoded RMA work request.
 ///
 /// Wire layout (as written to the BAR):
 ///   word0: [7:0] cmd | [15:8] port | [47:16] size | [48] notify requester
-///          | [49] notify completer
+///          | [49] notify completer | [63:50] dst node + 1 (0 = default)
 ///   word1: source NLA
 ///   word2: destination NLA
 struct WorkRequest {
@@ -51,6 +57,10 @@ struct WorkRequest {
   std::uint32_t size = 0;
   bool notify_requester = false;
   bool notify_completer = false;
+  /// Target node id for routing, or -1 for the NIC's default peer (the
+  /// first link the NIC was connected to — i.e. the classic two-node
+  /// behaviour, under which this field encodes to zero bits).
+  std::int32_t dst_node = -1;
   Nla src_nla = 0;
   Nla dst_nla = 0;
 
@@ -61,6 +71,8 @@ struct WorkRequest {
                       (static_cast<std::uint64_t>(size) << 16);
     if (notify_requester) w |= kWrNotifyRequester;
     if (notify_completer) w |= kWrNotifyCompleter;
+    w |= (static_cast<std::uint64_t>(dst_node + 1) & kWrDstNodeMask)
+         << kWrDstNodeShift;
     return w;
   }
 
@@ -72,6 +84,9 @@ struct WorkRequest {
     wr.size = static_cast<std::uint32_t>((w0 >> 16) & 0xFFFFFFFF);
     wr.notify_requester = (w0 & kWrNotifyRequester) != 0;
     wr.notify_completer = (w0 & kWrNotifyCompleter) != 0;
+    wr.dst_node = static_cast<std::int32_t>(
+                      (w0 >> kWrDstNodeShift) & kWrDstNodeMask) -
+                  1;
     wr.src_nla = w1;
     wr.dst_nla = w2;
     return wr;

@@ -83,11 +83,29 @@ ExtollNic::ExtollNic(sim::Simulation& sim, pcie::Fabric& fabric,
 ExtollNic::~ExtollNic() = default;
 
 void ExtollNic::connect(net::NetworkLink* link, int side) {
-  link_ = link;
-  link_side_ = side;
-  link_->attach(side, [this](std::vector<std::uint8_t> bytes) {
-    on_frame(std::move(bytes));
+  if (link_ == nullptr) {
+    link_ = link;
+    link_side_ = side;
+  }
+  link->attach(side, [this, link, side](std::vector<std::uint8_t> bytes) {
+    on_frame(link, side, std::move(bytes));
   });
+}
+
+void ExtollNic::add_route(int dst_node, net::NetworkLink* link, int side) {
+  for (const auto& [node, route] : routes_) {
+    if (node == dst_node) return;  // first route wins
+  }
+  routes_.push_back({dst_node, Route{link, side}});
+}
+
+ExtollNic::Route ExtollNic::route_for(std::int32_t dst_node) const {
+  if (dst_node >= 0) {
+    for (const auto& [node, route] : routes_) {
+      if (node == dst_node) return route;
+    }
+  }
+  return Route{link_, link_side_};
 }
 
 SimDuration ExtollNic::core_cycles(std::uint32_t n) const {
@@ -223,12 +241,14 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
   struct Job {
     WorkRequest wr;
     Addr src;
+    Route route;
     std::uint64_t issued = 0;  // bytes whose DMA pull has been started
     std::function<void()> step;
   };
   auto job = std::make_shared<Job>();
   job->wr = wr;
   job->src = src_addr;
+  job->route = route_for(wr.dst_node);
   job->step = [this, job] {
     const std::uint64_t offset = job->issued;
     const std::uint64_t remaining = job->wr.size - offset;
@@ -259,8 +279,8 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
                 f.notify_completer = job->wr.notify_completer;
                 f.last = last;
                 f.payload = std::move(data);
-                assert(link_ && "EXTOLL NIC not connected");
-                link_->send(link_side_, f.encode());
+                assert(job->route.link && "EXTOLL NIC not connected");
+                job->route.link->send(job->route.side, f.encode());
                 if (last) {
                   requester_finished(job->wr);
                   job->step = nullptr;  // break the cycle
@@ -280,8 +300,9 @@ void ExtollNic::execute_get(const WorkRequest& wr) {
   f.dst_nla = wr.dst_nla;  // our local destination
   f.notify_completer = wr.notify_completer;
   f.last = true;
-  assert(link_ && "EXTOLL NIC not connected");
-  link_->send(link_side_, f.encode());
+  const Route route = route_for(wr.dst_node);
+  assert(route.link && "EXTOLL NIC not connected");
+  route.link->send(route.side, f.encode());
   requester_finished(wr);
 }
 
@@ -311,7 +332,8 @@ void ExtollNic::requester_finished(const WorkRequest& wr) {
 // ---------------------------------------------------------------------------
 // Completer / responder.
 
-void ExtollNic::on_frame(std::vector<std::uint8_t> bytes) {
+void ExtollNic::on_frame(net::NetworkLink* link, int side,
+                         std::vector<std::uint8_t> bytes) {
   auto frame = Frame::decode(bytes);
   if (!frame.is_ok()) {
     ++protocol_violations_;
@@ -323,7 +345,7 @@ void ExtollNic::on_frame(std::vector<std::uint8_t> bytes) {
       handle_put_segment(*frame);
       break;
     case Frame::Kind::kGetRequest:
-      handle_get_request(*frame);
+      handle_get_request(*frame, link, side);
       break;
     case Frame::Kind::kGetResponse:
       handle_get_response(*frame);
@@ -371,7 +393,8 @@ void ExtollNic::handle_put_segment(const Frame& f) {
   });
 }
 
-void ExtollNic::handle_get_request(const Frame& f) {
+void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
+                                   int side) {
   auto src =
       atu_.translate(f.src_nla, f.total_size, mem::Access::kRead);
   if (!src.is_ok()) {
@@ -380,16 +403,18 @@ void ExtollNic::handle_get_request(const Frame& f) {
     return;
   }
   // The completer pulls the data and hands it to the responder, which
-  // streams response segments back to the origin.
+  // streams response segments back to the origin over the arrival link.
   struct Job {
     Frame req;
     Addr src;
+    Route route;
     std::uint64_t sent = 0;
     std::function<void()> step;
   };
   auto job = std::make_shared<Job>();
   job->req = f;
   job->src = *src;
+  job->route = Route{link, side};
   job->step = [this, job] {
     const std::uint64_t offset = job->sent;
     const std::uint64_t remaining = job->req.total_size - offset;
@@ -420,7 +445,7 @@ void ExtollNic::handle_get_request(const Frame& f) {
                 resp.notify_completer = job->req.notify_completer;
                 resp.last = last;
                 resp.payload = std::move(data);
-                link_->send(link_side_, resp.encode());
+                job->route.link->send(job->route.side, resp.encode());
                 if (last) job->step = nullptr;
               });
         });

@@ -74,8 +74,16 @@ class ExtollNic : public pcie::Endpoint {
             ExtollConfig cfg, std::string name);
   ~ExtollNic() override;
 
-  /// Wires this NIC to `side` of the link.
+  /// Wires this NIC to `side` of the link. The first link connected
+  /// becomes the default peer (where WRs with dst_node = -1 go), which
+  /// preserves the classic two-node behaviour; further links extend the
+  /// NIC into a multi-node fabric and are reached via add_route.
   void connect(net::NetworkLink* link, int side);
+
+  /// Declares that frames for `dst_node` leave through (`link`, `side`).
+  /// First route registered for a node wins (deterministic under
+  /// redundant topologies such as the two-node ring).
+  void add_route(int dst_node, net::NetworkLink* link, int side);
 
   // --- driver-level API (state only; callers charge CPU time) --------------
 
@@ -162,13 +170,23 @@ class ExtollNic : public pcie::Endpoint {
     return Bandwidth{cfg_.core_clock_hz * cfg_.datapath_bytes};
   }
 
+  struct Route {
+    net::NetworkLink* link = nullptr;
+    int side = 0;
+  };
+  /// Resolves a WR's destination node to an egress link; dst_node < 0 or
+  /// an unknown id falls back to the default (first-connected) link.
+  Route route_for(std::int32_t dst_node) const;
+
   void pump_requester();
   void execute_put(const WorkRequest& wr, mem::Addr src_addr);
   void execute_get(const WorkRequest& wr);
   void requester_finished(const WorkRequest& wr);
-  void on_frame(std::vector<std::uint8_t> bytes);
+  void on_frame(net::NetworkLink* link, int side,
+                std::vector<std::uint8_t> bytes);
   void handle_put_segment(const Frame& f);
-  void handle_get_request(const Frame& f);
+  /// Get responses stream back over the link the request arrived on.
+  void handle_get_request(const Frame& f, net::NetworkLink* link, int side);
   void handle_get_response(const Frame& f);
 
   /// DMA-writes a notification into `queue` (posted; ordered behind the
@@ -185,8 +203,9 @@ class ExtollNic : public pcie::Endpoint {
   pcie::EndpointId endpoint_id_ = 0;
   std::unique_ptr<pcie::DmaEngine> dma_;
   Atu atu_;
-  net::NetworkLink* link_ = nullptr;
+  net::NetworkLink* link_ = nullptr;  // default peer (first connect)
   int link_side_ = 0;
+  std::vector<std::pair<int, Route>> routes_;  // insertion-ordered, first wins
 
   std::vector<PortState> ports_;
   std::deque<WorkRequest> requester_fifo_;

@@ -91,11 +91,20 @@ Hca::Hca(sim::Simulation& sim, pcie::Fabric& fabric, mem::MemoryDomain& memory,
 Hca::~Hca() = default;
 
 void Hca::connect(net::NetworkLink* link, int side) {
-  link_ = link;
-  link_side_ = side;
-  link_->attach(side, [this](std::vector<std::uint8_t> bytes) {
+  if (link_ == nullptr) {
+    link_ = link;
+    link_side_ = side;
+  }
+  link->attach(side, [this](std::vector<std::uint8_t> bytes) {
     on_frame(std::move(bytes));
   });
+}
+
+void Hca::link_send(const Qp& qp, std::vector<std::uint8_t> bytes) {
+  net::NetworkLink* link = qp.route_link ? qp.route_link : link_;
+  const int side = qp.route_link ? qp.route_side : link_side_;
+  assert(link && "HCA not connected");
+  link->send(side, std::move(bytes));
 }
 
 SimTime Hca::occupy_engine(SimDuration service) {
@@ -160,10 +169,17 @@ Result<QpInfo> Hca::create_qp(Addr sq_buffer, std::uint32_t sq_entries,
 }
 
 Status Hca::connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn) {
+  return connect_qp(qpn, remote_qpn, nullptr, 0);
+}
+
+Status Hca::connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn,
+                       net::NetworkLink* link, int side) {
   if (qpn >= qps_.size() || !qps_[qpn].used) {
     return not_found("connect_qp: unknown QP");
   }
   qps_[qpn].remote_qpn = remote_qpn;
+  qps_[qpn].route_link = link;
+  qps_[qpn].route_side = side;
   return Status::ok();
 }
 
@@ -313,8 +329,7 @@ void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
       f.psn = psn;
       f.raddr = wqe.raddr;
       f.rkey = wqe.rkey;
-      assert(link_ && "HCA not connected");
-      link_->send(link_side_, f.encode());
+      link_send(qp, f.encode());
       done();
       return;
     }
@@ -340,8 +355,7 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
     f.psn = psn;
     f.raddr = wqe.raddr;
     f.rkey = wqe.rkey;
-    assert(link_ && "HCA not connected");
-    link_->send(link_side_, f.encode());
+    link_send(qp, f.encode());
     done();
     return;
   }
@@ -386,8 +400,7 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
                  f.rkey = job->wqe.rkey;
                  f.last = last;
                  f.payload = std::move(data);
-                 assert(link_ && "HCA not connected");
-                 link_->send(link_side_, f.encode());
+                 link_send(qps_[job->qpn], f.encode());
                  if (last) {
                    auto done = std::move(job->done);
                    job->step = nullptr;
@@ -577,7 +590,7 @@ void Hca::handle_read_request(const Frame& f) {
                  resp.offset = offset;
                  resp.last = last;
                  resp.payload = std::move(data);
-                 link_->send(link_side_, resp.encode());
+                 link_send(qps_[job->req.dst_qpn], resp.encode());
                  if (last) job->step = nullptr;
                });
   };
@@ -650,7 +663,7 @@ void Hca::send_ack(std::uint32_t origin_qpn, std::uint32_t psn) {
   ack.last = true;
   ack.dst_qpn = qps_[origin_qpn].remote_qpn;
   ack.psn = psn;
-  link_->send(link_side_, ack.encode());
+  link_send(qps_[origin_qpn], ack.encode());
 }
 
 void Hca::send_nak(std::uint32_t origin_qpn, std::uint32_t psn,
@@ -661,7 +674,7 @@ void Hca::send_nak(std::uint32_t origin_qpn, std::uint32_t psn,
   nak.dst_qpn = qps_[origin_qpn].remote_qpn;
   nak.psn = psn;
   nak.status = status;
-  link_->send(link_side_, nak.encode());
+  link_send(qps_[origin_qpn], nak.encode());
 }
 
 void Hca::fetch_recv_wqe(Qp& qp, std::function<void(Result<RecvWqe>)> cb) {

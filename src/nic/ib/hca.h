@@ -81,6 +81,11 @@ class Hca : public pcie::Endpoint {
       HcaConfig cfg, std::string name);
   ~Hca() override;
 
+  /// Wires this HCA to `side` of the link. The first link connected
+  /// becomes the default egress for QPs without an explicit route,
+  /// preserving the classic two-node behaviour; additional links extend
+  /// the HCA into a multi-node fabric (routes are per-QP, set at
+  /// connect_qp time).
   void connect(net::NetworkLink* link, int side);
 
   // --- verbs-level resource API (state only; callers charge CPU time) ------
@@ -97,8 +102,13 @@ class Hca : public pcie::Endpoint {
                            mem::Addr rq_buffer, std::uint32_t rq_entries,
                            std::uint32_t send_cq, std::uint32_t recv_cq);
 
-  /// RC pairing (performed out of band on both sides).
+  /// RC pairing (performed out of band on both sides). The default
+  /// overload sends through the first-connected link; the routed
+  /// overload pins all of the QP's traffic (data, read responses, ACKs)
+  /// to (`link`, `side`), which is what N-node topologies use.
   Status connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn);
+  Status connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn,
+                    net::NetworkLink* link, int side);
 
   const HcaConfig& config() const { return cfg_; }
   std::uint64_t cqes_written() const { return cqes_written_; }
@@ -162,6 +172,9 @@ class Hca : public pcie::Endpoint {
     bool used = false;
     QpInfo info;
     std::uint32_t remote_qpn = 0;
+    // Egress route for this QP's frames; nullptr = the HCA default link.
+    net::NetworkLink* route_link = nullptr;
+    int route_side = 0;
     // Send queue: producer count from doorbells, consumer count in HCA.
     std::uint32_t sq_tail = 0;
     std::uint32_t sq_head = 0;
@@ -203,6 +216,9 @@ class Hca : public pcie::Endpoint {
   void send_ack(std::uint32_t origin_qpn, std::uint32_t psn);
   void send_nak(std::uint32_t origin_qpn, std::uint32_t psn, WcStatus status);
   void fetch_recv_wqe(Qp& qp, std::function<void(Result<RecvWqe>)> cb);
+  /// Sends a frame through the QP's route, or the default link when the
+  /// QP has none.
+  void link_send(const Qp& qp, std::vector<std::uint8_t> bytes);
   void write_cqe(std::uint32_t cq_id, const Cqe& cqe);
   void complete_local(std::uint32_t qpn, const PendingAck& pending,
                       WcStatus status);

@@ -1,0 +1,39 @@
+// The generic experiment driver: the paper's three benchmark protocols
+// (ping-pong latency, streaming bandwidth, sustained message rate),
+// written once against the Transport abstraction and instantiated for
+// EXTOLL and InfiniBand by the thin wrappers in extoll_experiments.h /
+// ib_experiments.h.
+//
+// Every run builds a fresh two-node cluster from the configuration,
+// asks the transport for connections and (in GPU modes) device kernels,
+// executes the protocol, verifies payload integrity, and returns the
+// measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "putget/modes.h"
+#include "putget/results.h"
+#include "putget/transport.h"
+#include "sys/cluster.h"
+
+namespace pg::putget {
+
+/// Ping-pong latency for any transfer mode.
+PingPongResult run_pingpong(Transport& t, const sys::ClusterConfig& cfg,
+                            TransferMode mode, std::uint32_t size,
+                            std::uint32_t iterations);
+
+/// Streaming bandwidth: `messages` sends of `size` bytes from node0's
+/// GPU memory to node1's.
+BandwidthResult run_bandwidth(Transport& t, const sys::ClusterConfig& cfg,
+                              TransferMode mode, std::uint32_t size,
+                              std::uint32_t messages);
+
+/// Sustained message rate for 64-byte transfers over `pairs`
+/// connections.
+MessageRateResult run_msgrate(Transport& t, const sys::ClusterConfig& cfg,
+                              RateVariant variant, std::uint32_t pairs,
+                              std::uint32_t msgs_per_pair);
+
+}  // namespace pg::putget

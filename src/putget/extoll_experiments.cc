@@ -1,613 +1,32 @@
+// EXTOLL experiment entry points: construct the EXTOLL transport and
+// hand off to the generic driver. The protocol logic lives in
+// experiments.cc; the backend specifics in transport.cc.
 #include "putget/extoll_experiments.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "common/log.h"
-#include "common/rng.h"
-#include "putget/device_lib.h"
-#include "putget/extoll_host.h"
-#include "putget/op_span.h"
-#include "putget/setup.h"
-#include "putget/stats.h"
+#include "putget/experiments.h"
+#include "putget/transport.h"
 
 namespace pg::putget {
-
-namespace {
-
-using extoll::RmaCmd;
-using extoll::WorkRequest;
-using mem::Addr;
-
-/// Inline host-side post (the coroutine body of ExtollHostPort::post,
-/// usable inside larger protocol coroutines).
-#define PG_HOST_POST(cpu, port_info, wr)                                    \
-  co_await (cpu).build_descriptor();                                       \
-  co_await (cpu).mmio_write_u64((port_info).requester_page +               \
-                                    extoll::kWrWord0Offset,                \
-                                (wr).encode_word0());                      \
-  co_await (cpu).mmio_write_u64(                                           \
-      (port_info).requester_page + extoll::kWrWord1Offset, (wr).src_nla);  \
-  co_await (cpu).mmio_write_u64(                                           \
-      (port_info).requester_page + extoll::kWrWord2Offset, (wr).dst_nla)
-
-/// Inline host-side notification wait+consume.
-#define PG_HOST_WAIT_NOTIF(cpu, reader)                                \
-  co_await (cpu).poll_until(                                           \
-      [rd = &(reader), c = &(cpu)] { return rd->pending(*c); });       \
-  co_await (cpu).touch_dram();                                         \
-  (void)(reader).consume(cpu)
-
-sim::SimTask host_pingpong_initiator(host::HostCpu& cpu, ExtollHostPort& port,
-                                     WorkRequest wr, std::uint32_t iterations,
-                                     SimTime* t_end, sim::Trigger& done) {
-  for (std::uint32_t i = 0; i < iterations; ++i) {
-    PG_HOST_POST(cpu, port.info(), wr);
-    PG_HOST_WAIT_NOTIF(cpu, port.requester_notifications());
-    PG_HOST_WAIT_NOTIF(cpu, port.completer_notifications());
-  }
-  if (t_end) *t_end = cpu.sim().now();
-  done.fire();
-}
-
-sim::SimTask host_pingpong_responder(host::HostCpu& cpu, ExtollHostPort& port,
-                                     WorkRequest wr, std::uint32_t iterations,
-                                     sim::Trigger& done) {
-  for (std::uint32_t i = 0; i < iterations; ++i) {
-    PG_HOST_WAIT_NOTIF(cpu, port.completer_notifications());
-    PG_HOST_POST(cpu, port.info(), wr);
-    PG_HOST_WAIT_NOTIF(cpu, port.requester_notifications());
-  }
-  done.fire();
-}
-
-/// Host-assisted server: waits for the GPU's go flag, performs the
-/// transfer, optionally waits for the pong, acknowledges the GPU.
-sim::SimTask assisted_pingpong_server(host::HostCpu& cpu,
-                                      ExtollHostPort& port, WorkRequest wr,
-                                      Addr go_flag, Addr ack_flag,
-                                      std::uint32_t iterations,
-                                      sim::Trigger& done) {
-  for (std::uint32_t i = 0; i < iterations; ++i) {
-    const std::uint64_t tag = i + 1;
-    co_await cpu.poll_until(
-        [&cpu, go_flag, tag] { return cpu.load_u64(go_flag) >= tag; });
-    PG_HOST_POST(cpu, port.info(), wr);
-    PG_HOST_WAIT_NOTIF(cpu, port.requester_notifications());
-    PG_HOST_WAIT_NOTIF(cpu, port.completer_notifications());  // the pong
-    co_await cpu.mmio_write_u64(ack_flag, tag);
-  }
-  done.fire();
-}
-
-}  // namespace
-
-const char* rate_variant_name(RateVariant v) {
-  switch (v) {
-    case RateVariant::kBlocks:
-      return "dev2dev-blocks";
-    case RateVariant::kKernels:
-      return "dev2dev-kernels";
-    case RateVariant::kAssisted:
-      return "dev2dev-assisted";
-    case RateVariant::kHostControlled:
-      return "dev2dev-hostControlled";
-  }
-  return "?";
-}
-
-// ---------------------------------------------------------------------------
-// Fig 1a / Table I / Fig 3: ping-pong.
 
 PingPongResult run_extoll_pingpong(const sys::ClusterConfig& cfg,
                                    TransferMode mode, std::uint32_t size,
                                    std::uint32_t iterations) {
-  PingPongResult result;
-  result.iterations = iterations;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(), op_label("extoll-pingpong", mode, size));
-  sys::Node& n0 = cluster.node(0);
-  sys::Node& n1 = cluster.node(1);
-  auto setup = ExtollPair::create(cluster, 0, size);
-  if (!setup.is_ok()) return result;
-  ExtollPair& s = *setup;
-
-  const bool gpu_mode = mode == TransferMode::kGpuDirect ||
-                        mode == TransferMode::kGpuPollDevice;
-  const bool use_notifications = mode != TransferMode::kGpuPollDevice;
-
-  WorkRequest wr0;  // node0 -> node1
-  wr0.cmd = RmaCmd::kPut;
-  wr0.port = 0;
-  wr0.size = size;
-  wr0.notify_requester = use_notifications;
-  wr0.notify_completer = use_notifications;
-  wr0.src_nla = s.send0_nla;
-  wr0.dst_nla = s.recv1_nla;
-  WorkRequest wr1 = wr0;  // node1 -> node0
-  wr1.src_nla = s.send1_nla;
-  wr1.dst_nla = s.recv0_nla;
-
-  const unsigned tag_width = size >= 8 ? 8 : 4;
-  const std::uint32_t qmask = cfg.node.extoll.notif_queue_entries - 1;
-
-  if (gpu_mode) {
-    const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr stats1 = n1.gpu_heap().alloc(kStatsBytes, 64);
-    ExtollWrTemplate tmpl{wr0.port, wr0.size, wr0.notify_requester,
-                          wr0.notify_completer};
-    auto make_cfg = [&](bool initiator) {
-      ExtollPingPongConfig c;
-      c.initiator = initiator;
-      c.mode = mode;
-      c.iterations = iterations;
-      c.wr = tmpl;
-      c.queue_entry_mask = qmask;
-      c.tag_width = tag_width;
-      if (initiator) {
-        c.bar_page = s.port0.info().requester_page;
-        c.src_nla = wr0.src_nla;
-        c.dst_nla = wr0.dst_nla;
-        c.req_queue_base = s.port0.info().req_queue_base;
-        c.req_rp_cell = s.port0.info().req_rp_addr;
-        c.cmp_queue_base = s.port0.info().cmp_queue_base;
-        c.cmp_rp_cell = s.port0.info().cmp_rp_addr;
-        c.send_tag_addr = s.send0 + size - tag_width;
-        c.recv_tag_addr = s.recv0 + size - tag_width;
-        c.stats_addr = stats0;
-      } else {
-        c.bar_page = s.port1.info().requester_page;
-        c.src_nla = wr1.src_nla;
-        c.dst_nla = wr1.dst_nla;
-        c.req_queue_base = s.port1.info().req_queue_base;
-        c.req_rp_cell = s.port1.info().req_rp_addr;
-        c.cmp_queue_base = s.port1.info().cmp_queue_base;
-        c.cmp_rp_cell = s.port1.info().cmp_rp_addr;
-        c.send_tag_addr = s.send1 + size - tag_width;
-        c.recv_tag_addr = s.recv1 + size - tag_width;
-        c.stats_addr = stats1;
-      }
-      return c;
-    };
-    const gpu::Program prog0 = build_extoll_pingpong_kernel(make_cfg(true));
-    const gpu::Program prog1 = build_extoll_pingpong_kernel(make_cfg(false));
-    const gpu::PerfCounters before = n0.gpu().counters_snapshot();
-    sim::Trigger done0, done1;
-    launch_with_trigger(n0.gpu(), {.program = &prog0, .params = {}}, done0);
-    launch_with_trigger(n1.gpu(), {.program = &prog1, .params = {}}, done1);
-    if (!run_to(cluster, [&] { return done0.fired() && done1.fired(); })) {
-      PG_ERROR("exp", "extoll pingpong (%s) did not converge",
-               transfer_mode_name(mode));
-      return result;
-    }
-    result.gpu0 = n0.gpu().counters_snapshot() - before;
-    const DeviceStats st = read_device_stats(n0.memory(), stats0);
-    result.half_rtt_us = st.span_ns() / 1000.0 / (2.0 * iterations);
-    result.post_sum_us = st.post_sum_ns / 1000.0;
-    result.poll_sum_us = st.poll_sum_ns / 1000.0;
-  } else if (mode == TransferMode::kHostControlled) {
-    sim::Trigger done0, done1;
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = t_start;
-    auto t0 = host_pingpong_initiator(n0.cpu(), s.port0, wr0, iterations,
-                                      &t_end, done0);
-    auto t1 = host_pingpong_responder(n1.cpu(), s.port1, wr1, iterations,
-                                      done1);
-    if (!run_to(cluster, [&] { return done0.fired() && done1.fired(); })) {
-      PG_ERROR("exp", "extoll host pingpong did not converge");
-      return result;
-    }
-    result.half_rtt_us = to_us(t_end - t_start) / (2.0 * iterations);
-  } else {  // kHostAssisted
-    const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr table = n0.gpu_heap().alloc(24, 64);
-    const Addr go_flag = n0.host_heap().alloc(8, 8);
-    const Addr ack_flag = n0.gpu_heap().alloc(8, 8);
-    n0.memory().write_u64(table + 0, go_flag);
-    n0.memory().write_u64(table + 8, ack_flag);
-    n0.memory().write_u64(table + 16, stats0);
-    AssistedLoopConfig acfg;
-    acfg.iterations = iterations;
-    const gpu::Program prog = build_assisted_loop_kernel(acfg);
-    sim::Trigger kernel_done, server_done, responder_done;
-    launch_with_trigger(n0.gpu(), {.program = &prog, .params = {table}},
-                        kernel_done);
-    auto t0 = assisted_pingpong_server(n0.cpu(), s.port0, wr0, go_flag,
-                                       ack_flag, iterations, server_done);
-    auto t1 = host_pingpong_responder(n1.cpu(), s.port1, wr1, iterations,
-                                      responder_done);
-    if (!run_to(cluster, [&] {
-          return kernel_done.fired() && server_done.fired() &&
-                 responder_done.fired();
-        })) {
-      PG_ERROR("exp", "extoll assisted pingpong did not converge");
-      return result;
-    }
-    const DeviceStats st = read_device_stats(n0.memory(), stats0);
-    result.half_rtt_us = st.span_ns() / 1000.0 / (2.0 * iterations);
-  }
-
-  // Integrity: node1's landing zone must equal node0's final payload
-  // (and vice versa).
-  result.payload_ok =
-      ranges_equal(n0, s.send0, n1, s.recv1, size) &&
-      ranges_equal(n1, s.send1, n0, s.recv0, size);
-  result.events_scheduled = cluster.sim().total_scheduled();
-  return result;
+  ExtollTransport t;
+  return run_pingpong(t, cfg, mode, size, iterations);
 }
-
-// ---------------------------------------------------------------------------
-// Fig 1b: streaming bandwidth.
 
 BandwidthResult run_extoll_bandwidth(const sys::ClusterConfig& cfg,
                                      TransferMode mode, std::uint32_t size,
                                      std::uint32_t messages) {
-  BandwidthResult result;
-  result.bytes = static_cast<std::uint64_t>(size) * messages;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(), op_label("extoll-bandwidth", mode, size));
-  sys::Node& n0 = cluster.node(0);
-  sys::Node& n1 = cluster.node(1);
-  auto setup = ExtollPair::create(cluster, 0, size);
-  if (!setup.is_ok()) return result;
-  ExtollPair& s = *setup;
-
-  WorkRequest wr;
-  wr.cmd = RmaCmd::kPut;
-  wr.port = 0;
-  wr.size = size;
-  wr.notify_requester = true;
-  wr.notify_completer = true;
-  wr.src_nla = s.send0_nla;
-  wr.dst_nla = s.recv1_nla;
-  const std::uint32_t qmask = cfg.node.extoll.notif_queue_entries - 1;
-
-  double t_first_ns = 0, t_last_ns = 0;
-
-  if (mode == TransferMode::kGpuDirect ||
-      mode == TransferMode::kGpuPollDevice) {
-    const Addr stats_send = n0.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr stats_recv = n1.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr table = n0.gpu_heap().alloc(48, 64);
-    n0.memory().write_u64(table + 0, s.port0.info().requester_page);
-    n0.memory().write_u64(table + 8, wr.src_nla);
-    n0.memory().write_u64(table + 16, wr.dst_nla);
-    n0.memory().write_u64(table + 24, s.port0.info().req_queue_base);
-    n0.memory().write_u64(table + 32, s.port0.info().req_rp_addr);
-    n0.memory().write_u64(table + 40, stats_send);
-    ExtollStreamConfig scfg;
-    scfg.messages = messages;
-    scfg.wr = ExtollWrTemplate{wr.port, wr.size, true, true};
-    scfg.queue_entry_mask = qmask;
-    const gpu::Program sender = build_extoll_stream_kernel(scfg);
-    ExtollDrainConfig dcfg;
-    dcfg.notifications = messages;
-    dcfg.cmp_queue_base = s.port1.info().cmp_queue_base;
-    dcfg.cmp_rp_cell = s.port1.info().cmp_rp_addr;
-    dcfg.queue_entry_mask = qmask;
-    dcfg.stats_addr = stats_recv;
-    const gpu::Program receiver = build_extoll_drain_kernel(dcfg);
-    sim::Trigger send_done, recv_done;
-    launch_with_trigger(n0.gpu(), {.program = &sender, .params = {table}},
-                        send_done);
-    launch_with_trigger(n1.gpu(), {.program = &receiver, .params = {}},
-                        recv_done);
-    if (!run_to(cluster,
-                [&] { return send_done.fired() && recv_done.fired(); })) {
-      PG_ERROR("exp", "extoll bandwidth (gpu) did not converge");
-      return result;
-    }
-    t_first_ns = read_device_stats(n0.memory(), stats_send).t_start_ns;
-    t_last_ns = read_device_stats(n1.memory(), stats_recv).t_end_ns;
-  } else {
-    // Host-side sender (host-controlled) or GPU-flagged sender (assisted)
-    // with a host-side receiver that drains completer notifications.
-    sim::Trigger send_done, recv_done;
-    SimTime host_t_start = 0;
-    SimTime host_t_end = 0;
-    auto drain = [](host::HostCpu& cpu, ExtollHostPort& port,
-                    std::uint32_t count, SimTime* t_end,
-                    sim::Trigger& done) -> sim::SimTask {
-      for (std::uint32_t i = 0; i < count; ++i) {
-        PG_HOST_WAIT_NOTIF(cpu, port.completer_notifications());
-      }
-      *t_end = cpu.sim().now();
-      done.fire();
-    };
-    auto receiver =
-        drain(n1.cpu(), s.port1, messages, &host_t_end, recv_done);
-
-    if (mode == TransferMode::kHostControlled) {
-      auto sender = [](host::HostCpu& cpu, ExtollHostPort& port,
-                       WorkRequest w, std::uint32_t count, SimTime* t_start,
-                       sim::Trigger& done) -> sim::SimTask {
-        *t_start = cpu.sim().now();
-        for (std::uint32_t i = 0; i < count; ++i) {
-          PG_HOST_POST(cpu, port.info(), w);
-          PG_HOST_WAIT_NOTIF(cpu, port.requester_notifications());
-        }
-        done.fire();
-      };
-      auto send = sender(n0.cpu(), s.port0, wr, messages, &host_t_start,
-                         send_done);
-      if (!run_to(cluster,
-                  [&] { return send_done.fired() && recv_done.fired(); })) {
-        PG_ERROR("exp", "extoll bandwidth (host) did not converge");
-        return result;
-      }
-    } else {  // kHostAssisted
-      const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-      const Addr table = n0.gpu_heap().alloc(24, 64);
-      const Addr go_flag = n0.host_heap().alloc(8, 8);
-      const Addr ack_flag = n0.gpu_heap().alloc(8, 8);
-      n0.memory().write_u64(table + 0, go_flag);
-      n0.memory().write_u64(table + 8, ack_flag);
-      n0.memory().write_u64(table + 16, stats0);
-      AssistedLoopConfig acfg;
-      acfg.iterations = messages;
-      const gpu::Program prog = build_assisted_loop_kernel(acfg);
-      sim::Trigger kernel_done;
-      launch_with_trigger(n0.gpu(), {.program = &prog, .params = {table}},
-                          kernel_done);
-      auto server = [](host::HostCpu& cpu, ExtollHostPort& port,
-                       WorkRequest w, Addr go, Addr ack, std::uint32_t count,
-                       SimTime* t_start, sim::Trigger& done) -> sim::SimTask {
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const std::uint64_t tag = i + 1;
-          co_await cpu.poll_until(
-              [&cpu, go, tag] { return cpu.load_u64(go) >= tag; });
-          if (i == 0) *t_start = cpu.sim().now();
-          PG_HOST_POST(cpu, port.info(), w);
-          PG_HOST_WAIT_NOTIF(cpu, port.requester_notifications());
-          co_await cpu.mmio_write_u64(ack, tag);
-        }
-        done.fire();
-      };
-      auto serve = server(n0.cpu(), s.port0, wr, go_flag, ack_flag, messages,
-                          &host_t_start, send_done);
-      if (!run_to(cluster, [&] {
-            return kernel_done.fired() && send_done.fired() &&
-                   recv_done.fired();
-          })) {
-        PG_ERROR("exp", "extoll bandwidth (assisted) did not converge");
-        return result;
-      }
-    }
-    t_first_ns = to_ns(host_t_start);
-    t_last_ns = to_ns(host_t_end);
-  }
-
-  const double span_ns = t_last_ns - t_first_ns;
-  if (span_ns > 0) {
-    result.mb_per_s = static_cast<double>(result.bytes) / (span_ns / 1e9) /
-                      1e6;
-  }
-  result.payload_ok = ranges_equal(n0, s.send0, n1, s.recv1, size);
-  return result;
+  ExtollTransport t;
+  return run_bandwidth(t, cfg, mode, size, messages);
 }
-
-// ---------------------------------------------------------------------------
-// Fig 2: message rate.
 
 MessageRateResult run_extoll_msgrate(const sys::ClusterConfig& cfg,
                                      RateVariant variant, std::uint32_t pairs,
                                      std::uint32_t msgs_per_pair) {
-  MessageRateResult result;
-  result.messages = static_cast<std::uint64_t>(pairs) * msgs_per_pair;
-  constexpr std::uint32_t kMsgSize = 64;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(),
-            op_label("extoll-msgrate", rate_variant_name(variant), kMsgSize));
-  sys::Node& n0 = cluster.node(0);
-  const std::uint32_t qmask = cfg.node.extoll.notif_queue_entries - 1;
-
-  struct Conn {
-    ExtollHostPort port0;
-    ExtollHostPort port1;
-    WorkRequest wr;
-    Addr stats = 0;
-  };
-  std::vector<Conn> conns;
-  conns.reserve(pairs);
-  for (std::uint32_t i = 0; i < pairs; ++i) {
-    auto setup = ExtollPair::create(cluster, i, kMsgSize);
-    if (!setup.is_ok()) return result;
-    WorkRequest wr;
-    wr.cmd = RmaCmd::kPut;
-    wr.port = static_cast<std::uint8_t>(i);
-    wr.size = kMsgSize;
-    wr.notify_requester = true;
-    wr.notify_completer = false;
-    wr.src_nla = setup->send0_nla;
-    wr.dst_nla = setup->recv1_nla;
-    conns.push_back(Conn{setup->port0, setup->port1, wr,
-                         n0.gpu_heap().alloc(kStatsBytes, 64)});
-  }
-
-  auto gpu_span_rate = [&]() {
-    double t_min = 0, t_max = 0;
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      const DeviceStats st = read_device_stats(n0.memory(), conns[i].stats);
-      if (i == 0 || st.t_start_ns < t_min) t_min = st.t_start_ns;
-      if (i == 0 || st.t_end_ns > t_max) t_max = st.t_end_ns;
-    }
-    const double span_s = (t_max - t_min) / 1e9;
-    if (span_s > 0) {
-      result.msgs_per_s = static_cast<double>(result.messages) / span_s;
-    }
-  };
-
-  if (variant == RateVariant::kBlocks || variant == RateVariant::kKernels) {
-    const Addr table = n0.gpu_heap().alloc(48 * pairs, 64);
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      const Addr row = table + i * 48;
-      n0.memory().write_u64(row + 0, conns[i].port0.info().requester_page);
-      n0.memory().write_u64(row + 8, conns[i].wr.src_nla);
-      n0.memory().write_u64(row + 16, conns[i].wr.dst_nla);
-      n0.memory().write_u64(row + 24, conns[i].port0.info().req_queue_base);
-      n0.memory().write_u64(row + 32, conns[i].port0.info().req_rp_addr);
-      n0.memory().write_u64(row + 40, conns[i].stats);
-    }
-    // Per the paper, "each block posts one put command": a kernel posts
-    // one message per block, then the host relaunches it for the next
-    // round (blocks variant), or each connection gets its own stream of
-    // single-block kernels (kernels variant). Kernel launch overhead is
-    // therefore part of the per-message cost - which is why the GPU
-    // curves in Fig 2 start so low.
-    ExtollStreamConfig scfg;
-    scfg.messages = 1;
-    scfg.wr = ExtollWrTemplate{0, kMsgSize, true, false};
-    scfg.queue_entry_mask = qmask;
-    // Port is encoded per row via the BAR page; the template's port field
-    // is unused by the BAR path (the page implies the port).
-    const gpu::Program prog = build_extoll_stream_kernel(scfg);
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = t_start;
-    if (variant == RateVariant::kBlocks) {
-      sim::Trigger all_done;
-      // Host relaunch loop: synchronize on the kernel, pay the driver
-      // call, launch the next round.
-      auto round = std::make_shared<std::function<void(std::uint32_t)>>();
-      *round = [&, round](std::uint32_t r) {
-        if (r == msgs_per_pair) {
-          t_end = cluster.sim().now();
-          all_done.fire();
-          return;
-        }
-        n0.gpu().launch(
-            {.program = &prog, .blocks = pairs, .params = {table}},
-            [&, round, r] {
-              cluster.sim().schedule(
-                  n0.cpu().config().driver_call_cost,
-                  [round, r] { (*round)(r + 1); });
-            });
-      };
-      (*round)(0);
-      const bool ok = run_to(cluster, [&] { return all_done.fired(); });
-      // The closure captures `round` by value - break the self-ownership
-      // cycle so the shared state is actually released.
-      *round = {};
-      if (!ok) return result;
-    } else {
-      // Kernels variant: enqueue every round up front; streams serialize
-      // kernels per connection while connections overlap.
-      std::uint32_t finished = 0;
-      for (std::uint32_t i = 0; i < pairs; ++i) {
-        for (std::uint32_t r = 0; r < msgs_per_pair; ++r) {
-          n0.gpu().launch_stream(
-              i, {.program = &prog, .params = {table + i * 48}},
-              [&finished, &t_end, &cluster] {
-                ++finished;
-                t_end = cluster.sim().now();
-              });
-        }
-      }
-      if (!run_to(cluster,
-                  [&] { return finished == pairs * msgs_per_pair; })) {
-        return result;
-      }
-    }
-    const double span_s = to_sec(t_end - t_start);
-    if (span_s > 0) {
-      result.msgs_per_s = static_cast<double>(result.messages) / span_s;
-    }
-    return result;
-  }
-
-  if (variant == RateVariant::kAssisted) {
-    // One GPU block per connection raising flags; a single CPU thread
-    // serves all of them round-robin (the serialization the paper blames
-    // for the assisted plateau).
-    const Addr table = n0.gpu_heap().alloc(24 * pairs, 64);
-    std::vector<Addr> go(pairs), ack(pairs);
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      go[i] = n0.host_heap().alloc(8, 8);
-      ack[i] = n0.gpu_heap().alloc(8, 8);
-      n0.memory().write_u64(table + i * 24 + 0, go[i]);
-      n0.memory().write_u64(table + i * 24 + 8, ack[i]);
-      n0.memory().write_u64(table + i * 24 + 16, conns[i].stats);
-    }
-    AssistedLoopConfig acfg;
-    acfg.iterations = msgs_per_pair;
-    const gpu::Program prog = build_assisted_loop_kernel(acfg);
-    sim::Trigger kernel_done, server_done;
-    launch_with_trigger(n0.gpu(),
-                        {.program = &prog, .blocks = pairs, .params = {table}},
-                        kernel_done);
-    auto server = [](host::HostCpu& cpu, std::vector<Conn>& cs,
-                     std::vector<Addr> go_flags, std::vector<Addr> ack_flags,
-                     std::uint64_t total, sim::Trigger& done) -> sim::SimTask {
-      // One CPU thread serves every connection round-robin. Requester
-      // notifications are consumed lazily on the next visit to a port,
-      // so posts on different ports pipeline; the single thread is still
-      // the serializer the paper blames for the assisted plateau.
-      std::vector<std::uint64_t> served(cs.size(), 0);
-      std::vector<bool> outstanding(cs.size(), false);
-      std::uint64_t handled = 0;
-      while (handled < total) {
-        bool progressed = false;
-        for (std::size_t j = 0; j < cs.size(); ++j) {
-          if (outstanding[j]) {
-            if (!cs[j].port0.requester_notifications().pending(cpu)) {
-              continue;
-            }
-            co_await cpu.touch_dram();
-            (void)cs[j].port0.requester_notifications().consume(cpu);
-            outstanding[j] = false;
-            ++handled;
-            progressed = true;
-          }
-          if (cpu.load_u64(go_flags[j]) <= served[j]) continue;
-          progressed = true;
-          co_await cpu.touch_dram();
-          PG_HOST_POST(cpu, cs[j].port0.info(), cs[j].wr);
-          ++served[j];
-          outstanding[j] = true;
-          co_await cpu.mmio_write_u64(ack_flags[j], served[j]);
-        }
-        if (!progressed) {
-          co_await cpu.delay(cpu.config().cached_poll_interval);
-        }
-      }
-      done.fire();
-    };
-    auto serve =
-        server(n0.cpu(), conns, go, ack, result.messages, server_done);
-    if (!run_to(cluster,
-                [&] { return kernel_done.fired() && server_done.fired(); })) {
-      return result;
-    }
-    gpu_span_rate();
-    return result;
-  }
-
-  // kHostControlled: one host thread per connection.
-  {
-    std::uint32_t finished = 0;
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = 0;
-    auto sender = [](host::HostCpu& cpu, Conn& conn, std::uint32_t count,
-                     std::uint32_t* finished, SimTime* t_end) -> sim::SimTask {
-      for (std::uint32_t i = 0; i < count; ++i) {
-        PG_HOST_POST(cpu, conn.port0.info(), conn.wr);
-        PG_HOST_WAIT_NOTIF(cpu, conn.port0.requester_notifications());
-      }
-      ++*finished;
-      *t_end = cpu.sim().now();
-    };
-    std::vector<sim::SimTask> tasks;
-    tasks.reserve(pairs);
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      tasks.push_back(
-          sender(n0.cpu(), conns[i], msgs_per_pair, &finished, &t_end));
-    }
-    if (!run_to(cluster, [&] { return finished == pairs; })) return result;
-    const double span_s = to_sec(t_end - t_start);
-    if (span_s > 0) {
-      result.msgs_per_s = static_cast<double>(result.messages) / span_s;
-    }
-  }
-  return result;
+  ExtollTransport t;
+  return run_msgrate(t, cfg, variant, pairs, msgs_per_pair);
 }
 
 }  // namespace pg::putget

@@ -1,46 +1,13 @@
 // The paper's EXTOLL experiments (Figs. 1-3, Table I), runnable for any
-// transfer mode. Each run builds a fresh two-node cluster from the given
-// configuration, wires up buffers/registrations, executes the protocol,
-// verifies payload integrity, and returns the measurements.
+// transfer mode. Thin wrappers over the generic driver (experiments.h)
+// instantiated with the EXTOLL transport backend.
 #pragma once
 
-#include "gpu/counters.h"
 #include "putget/modes.h"
+#include "putget/results.h"
 #include "sys/cluster.h"
 
 namespace pg::putget {
-
-struct PingPongResult {
-  double half_rtt_us = 0;       // reported latency (RTT/2)
-  double post_sum_us = 0;       // initiator: time generating/posting WRs
-  double poll_sum_us = 0;       // initiator: time polling for completion
-  std::uint32_t iterations = 0;
-  bool payload_ok = false;
-  gpu::PerfCounters gpu0;       // initiator-GPU counter delta (Table I)
-  /// Total events the cluster simulation ever scheduled: a determinism
-  /// fingerprint - two runs of the same experiment must agree exactly.
-  std::uint64_t events_scheduled = 0;
-};
-
-struct BandwidthResult {
-  double mb_per_s = 0;
-  std::uint64_t bytes = 0;
-  bool payload_ok = false;
-};
-
-struct MessageRateResult {
-  double msgs_per_s = 0;
-  std::uint64_t messages = 0;
-};
-
-/// Concurrency/control variants for the message-rate experiment (Fig 2).
-enum class RateVariant {
-  kBlocks,          // dev2dev-blocks
-  kKernels,         // dev2dev-kernels
-  kAssisted,        // dev2dev-assisted
-  kHostControlled,  // dev2dev-hostControlled
-};
-const char* rate_variant_name(RateVariant v);
 
 /// Ping-pong latency (Fig 1a / Table I / Fig 3).
 PingPongResult run_extoll_pingpong(const sys::ClusterConfig& cfg,

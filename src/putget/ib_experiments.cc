@@ -1,786 +1,36 @@
+// InfiniBand experiment entry points: construct the IB transport with
+// the requested queue location and hand off to the generic driver. The
+// protocol logic lives in experiments.cc; the backend specifics in
+// transport.cc. The verbs instruction-count micro-measurement lives in
+// verbs_micro.cc.
 #include "putget/ib_experiments.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "common/log.h"
-#include "common/rng.h"
-#include "putget/device_lib.h"
-#include "putget/ib_host.h"
-#include "putget/op_span.h"
-#include "putget/setup.h"
-#include "putget/stats.h"
+#include "putget/experiments.h"
+#include "putget/transport.h"
 
 namespace pg::putget {
-
-namespace {
-
-using ib::Cqe;
-using ib::RecvWqe;
-using ib::SendWqe;
-using ib::WqeOpcode;
-using mem::Addr;
-
-// Host coroutine protocols -------------------------------------------------
-
-/// Host-controlled ping-pong: write-with-immediate for synchronization
-/// (the host cannot poll GPU memory, as the paper notes), receive
-/// requests pre-posted per iteration.
-sim::SimTask ib_host_pingpong(host::HostCpu& cpu, IbHostEndpoint& ep,
-                              SendWqe wqe, ib::Mr recv_mr,
-                              std::uint32_t iterations, bool initiator,
-                              SimTime* t_end, sim::Trigger& done) {
-  for (std::uint32_t i = 0; i < iterations; ++i) {
-    // Post the receive for the incoming message first.
-    RecvWqe recv;
-    recv.wr_id = i;
-    recv.lkey = recv_mr.lkey;
-    {
-      co_await cpu.build_descriptor();
-      const auto bytes = ib::encode_recv_wqe(recv);
-      cpu.store_bytes(ep.qp().rq_buffer +
-                          (ep.rq_produced() % ep.qp().rq_entries) *
-                              ib::kRecvWqeBytes,
-                      bytes);
-      ep.bump_rq();
-      co_await cpu.mmio_write_u64(ep.qp().rq_doorbell, ep.rq_produced());
-    }
-    if (initiator) {
-      // Send the ping.
-      co_await cpu.build_descriptor();
-      {
-        SendWqe w = wqe;
-        w.wr_id = i;
-        const auto bytes = ib::encode_send_wqe(w);
-        cpu.store_bytes(ep.qp().sq_buffer +
-                            (ep.sq_produced() % ep.qp().sq_entries) *
-                                ib::kSendWqeBytes,
-                        bytes);
-        ep.bump_sq();
-      }
-      co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-      // Wait for the pong's receive completion (skip send completions).
-      for (;;) {
-        co_await cpu.poll_until(
-            [&] { return ep.cq().pending(cpu); });
-        co_await cpu.touch_dram();
-        const Cqe cqe = ep.cq().consume(cpu);
-        if (cqe.is_recv) break;
-      }
-    } else {
-      for (;;) {
-        co_await cpu.poll_until(
-            [&] { return ep.cq().pending(cpu); });
-        co_await cpu.touch_dram();
-        const Cqe cqe = ep.cq().consume(cpu);
-        if (cqe.is_recv) break;
-      }
-      co_await cpu.build_descriptor();
-      {
-        SendWqe w = wqe;
-        w.wr_id = i;
-        const auto bytes = ib::encode_send_wqe(w);
-        cpu.store_bytes(ep.qp().sq_buffer +
-                            (ep.sq_produced() % ep.qp().sq_entries) *
-                                ib::kSendWqeBytes,
-                        bytes);
-        ep.bump_sq();
-      }
-      co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-    }
-  }
-  if (t_end) *t_end = cpu.sim().now();
-  done.fire();
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Fig 4a / Table II: ping-pong.
 
 PingPongResult run_ib_pingpong(const sys::ClusterConfig& cfg,
                                TransferMode mode, QueueLocation location,
                                std::uint32_t size, std::uint32_t iterations) {
-  PingPongResult result;
-  result.iterations = iterations;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(),
-            op_label("ib-pingpong", transfer_mode_name(mode), size) + "/" +
-                queue_location_name(location));
-  sys::Node& n0 = cluster.node(0);
-  sys::Node& n1 = cluster.node(1);
-  auto pair = IbPair::create(cluster, location, size, 404);
-  if (!pair.is_ok()) return result;
-  IbPair& p = *pair;
-  const unsigned tag_width = size >= 8 ? 8 : 4;
-
-  if (mode == TransferMode::kGpuDirect ||
-      mode == TransferMode::kGpuPollDevice) {
-    // GPU-driven: the queue location is the experiment variable; pong
-    // detection is always a device-memory payload poll (in-order RC).
-    const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr stats1 = n1.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr table0 = make_qp_table(n0, p.ep0.qp().qpn, 8);
-    const Addr table1 = make_qp_table(n1, p.ep1.qp().qpn, 8);
-    const Addr qpc0 = make_qp_device_context(n0, p.ep0, table0, 8);
-    const Addr qpc1 = make_qp_device_context(n1, p.ep1, table1, 8);
-
-    auto make_cfg = [&](bool initiator) {
-      IbPingPongConfig c;
-      c.initiator = initiator;
-      c.iterations = iterations;
-      c.wqe.opcode = WqeOpcode::kRdmaWrite;
-      c.wqe.signaled = true;
-      c.wqe.byte_len = size;
-      c.tag_width = tag_width;
-      if (initiator) {
-        c.wqe.lkey = p.mr_send0.lkey;
-        c.wqe.rkey = p.mr_recv1.rkey;
-        c.qp_context = qpc0;
-        c.laddr = p.send0;
-        c.raddr = p.recv1;
-        c.send_tag_addr = p.send0 + size - tag_width;
-        c.recv_tag_addr = p.recv0 + size - tag_width;
-        c.stats_addr = stats0;
-      } else {
-        c.wqe.lkey = p.mr_send1.lkey;
-        c.wqe.rkey = p.mr_recv0.rkey;
-        c.qp_context = qpc1;
-        c.laddr = p.send1;
-        c.raddr = p.recv0;
-        c.send_tag_addr = p.send1 + size - tag_width;
-        c.recv_tag_addr = p.recv1 + size - tag_width;
-        c.stats_addr = stats1;
-      }
-      return c;
-    };
-    const gpu::Program prog0 = build_ib_pingpong_kernel(make_cfg(true));
-    const gpu::Program prog1 = build_ib_pingpong_kernel(make_cfg(false));
-    const gpu::PerfCounters before = n0.gpu().counters_snapshot();
-    sim::Trigger done0, done1;
-    launch_with_trigger(n0.gpu(), {.program = &prog0, .params = {}}, done0);
-    launch_with_trigger(n1.gpu(), {.program = &prog1, .params = {}}, done1);
-    if (!run_to(cluster, [&] { return done0.fired() && done1.fired(); })) {
-      PG_ERROR("exp", "ib pingpong (%s) did not converge",
-               queue_location_name(location));
-      return result;
-    }
-    result.gpu0 = n0.gpu().counters_snapshot() - before;
-    const DeviceStats st = read_device_stats(n0.memory(), stats0);
-    result.half_rtt_us = st.span_ns() / 1000.0 / (2.0 * iterations);
-    result.post_sum_us = st.post_sum_ns / 1000.0;
-    result.poll_sum_us = st.poll_sum_ns / 1000.0;
-  } else if (mode == TransferMode::kHostControlled) {
-    SendWqe wqe0;
-    wqe0.opcode = WqeOpcode::kRdmaWriteImm;
-    wqe0.signaled = false;  // sync rides on the remote recv completion
-    wqe0.byte_len = size;
-    wqe0.laddr = p.send0;
-    wqe0.lkey = p.mr_send0.lkey;
-    wqe0.raddr = p.recv1;
-    wqe0.rkey = p.mr_recv1.rkey;
-    SendWqe wqe1 = wqe0;
-    wqe1.laddr = p.send1;
-    wqe1.lkey = p.mr_send1.lkey;
-    wqe1.raddr = p.recv0;
-    wqe1.rkey = p.mr_recv0.rkey;
-    sim::Trigger done0, done1;
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = t_start;
-    auto t0 = ib_host_pingpong(n0.cpu(), p.ep0, wqe0, p.mr_recv0, iterations,
-                               true, &t_end, done0);
-    auto t1 = ib_host_pingpong(n1.cpu(), p.ep1, wqe1, p.mr_recv1, iterations,
-                               false, nullptr, done1);
-    if (!run_to(cluster, [&] { return done0.fired() && done1.fired(); })) {
-      PG_ERROR("exp", "ib host pingpong did not converge");
-      return result;
-    }
-    result.half_rtt_us = to_us(t_end - t_start) / (2.0 * iterations);
-  } else {  // kHostAssisted
-    // The GPU raises flags; the CPU runs the host-controlled protocol.
-    const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr table = n0.gpu_heap().alloc(24, 64);
-    const Addr go_flag = n0.host_heap().alloc(8, 8);
-    const Addr ack_flag = n0.gpu_heap().alloc(8, 8);
-    n0.memory().write_u64(table + 0, go_flag);
-    n0.memory().write_u64(table + 8, ack_flag);
-    n0.memory().write_u64(table + 16, stats0);
-    AssistedLoopConfig acfg;
-    acfg.iterations = iterations;
-    const gpu::Program prog = build_assisted_loop_kernel(acfg);
-    sim::Trigger kernel_done, server_done, responder_done;
-    launch_with_trigger(n0.gpu(), {.program = &prog, .params = {table}},
-                        kernel_done);
-
-    SendWqe wqe0;
-    wqe0.opcode = WqeOpcode::kRdmaWriteImm;
-    wqe0.signaled = false;
-    wqe0.byte_len = size;
-    wqe0.laddr = p.send0;
-    wqe0.lkey = p.mr_send0.lkey;
-    wqe0.raddr = p.recv1;
-    wqe0.rkey = p.mr_recv1.rkey;
-    SendWqe wqe1 = wqe0;
-    wqe1.laddr = p.send1;
-    wqe1.lkey = p.mr_send1.lkey;
-    wqe1.raddr = p.recv0;
-    wqe1.rkey = p.mr_recv0.rkey;
-
-    auto server = [](host::HostCpu& cpu, IbHostEndpoint& ep, SendWqe wqe,
-                     ib::Mr recv_mr, Addr go, Addr ack,
-                     std::uint32_t iterations,
-                     sim::Trigger& done) -> sim::SimTask {
-      for (std::uint32_t i = 0; i < iterations; ++i) {
-        const std::uint64_t tag = i + 1;
-        co_await cpu.poll_until(
-            [&cpu, go, tag] { return cpu.load_u64(go) >= tag; });
-        // Post recv for the pong, send the ping, wait for the pong.
-        RecvWqe recv;
-        recv.wr_id = i;
-        recv.lkey = recv_mr.lkey;
-        co_await cpu.build_descriptor();
-        cpu.store_bytes(ep.qp().rq_buffer +
-                            (ep.rq_produced() % ep.qp().rq_entries) *
-                                ib::kRecvWqeBytes,
-                        ib::encode_recv_wqe(recv));
-        ep.bump_rq();
-        co_await cpu.mmio_write_u64(ep.qp().rq_doorbell, ep.rq_produced());
-        co_await cpu.build_descriptor();
-        SendWqe w = wqe;
-        w.wr_id = i;
-        cpu.store_bytes(ep.qp().sq_buffer +
-                            (ep.sq_produced() % ep.qp().sq_entries) *
-                                ib::kSendWqeBytes,
-                        ib::encode_send_wqe(w));
-        ep.bump_sq();
-        co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-        for (;;) {
-          co_await cpu.poll_until([&] { return ep.cq().pending(cpu); });
-          co_await cpu.touch_dram();
-          if (ep.cq().consume(cpu).is_recv) break;
-        }
-        co_await cpu.mmio_write_u64(ack, tag);
-      }
-      done.fire();
-    };
-    auto serve = server(n0.cpu(), p.ep0, wqe0, p.mr_recv0, go_flag, ack_flag,
-                        iterations, server_done);
-    auto respond = ib_host_pingpong(n1.cpu(), p.ep1, wqe1, p.mr_recv1,
-                                    iterations, false, nullptr,
-                                    responder_done);
-    if (!run_to(cluster, [&] {
-          return kernel_done.fired() && server_done.fired() &&
-                 responder_done.fired();
-        })) {
-      PG_ERROR("exp", "ib assisted pingpong did not converge");
-      return result;
-    }
-    const DeviceStats st = read_device_stats(n0.memory(), stats0);
-    result.half_rtt_us = st.span_ns() / 1000.0 / (2.0 * iterations);
-  }
-
-  result.payload_ok = ranges_equal(n0, p.send0, n1, p.recv1, size) &&
-                      ranges_equal(n1, p.send1, n0, p.recv0, size);
-  return result;
+  IbTransport t(location);
+  return run_pingpong(t, cfg, mode, size, iterations);
 }
-
-// ---------------------------------------------------------------------------
-// Fig 4b: streaming bandwidth.
 
 BandwidthResult run_ib_bandwidth(const sys::ClusterConfig& cfg,
                                  TransferMode mode, QueueLocation location,
                                  std::uint32_t size, std::uint32_t messages) {
-  BandwidthResult result;
-  result.bytes = static_cast<std::uint64_t>(size) * messages;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(),
-            op_label("ib-bandwidth", transfer_mode_name(mode), size) + "/" +
-                queue_location_name(location));
-  sys::Node& n0 = cluster.node(0);
-  sys::Node& n1 = cluster.node(1);
-  auto pair = IbPair::create(cluster, location, size, 505);
-  if (!pair.is_ok()) return result;
-  IbPair& p = *pair;
-
-  double span_ns = 0;
-  if (mode == TransferMode::kGpuDirect ||
-      mode == TransferMode::kGpuPollDevice) {
-    const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-    const Addr table0 = make_qp_table(n0, p.ep0.qp().qpn, 8);
-    const Addr qpc0 = make_qp_device_context(n0, p.ep0, table0, 8);
-    const Addr params = n0.gpu_heap().alloc(32, 64);
-    n0.memory().write_u64(params + 0, qpc0);
-    n0.memory().write_u64(params + 8, p.send0);
-    n0.memory().write_u64(params + 16, p.recv1);
-    n0.memory().write_u64(params + 24, stats0);
-    IbStreamConfig scfg;
-    scfg.messages = messages;
-    scfg.window = 16;
-    scfg.wqe.opcode = WqeOpcode::kRdmaWrite;
-    scfg.wqe.signaled = true;
-    scfg.wqe.byte_len = size;
-    scfg.wqe.lkey = p.mr_send0.lkey;
-    scfg.wqe.rkey = p.mr_recv1.rkey;
-    const gpu::Program prog = build_ib_stream_kernel(scfg);
-    sim::Trigger done;
-    launch_with_trigger(n0.gpu(), {.program = &prog, .params = {params}},
-                        done);
-    if (!run_to(cluster, [&] { return done.fired(); })) {
-      PG_ERROR("exp", "ib bandwidth (gpu) did not converge");
-      return result;
-    }
-    span_ns = read_device_stats(n0.memory(), stats0).span_ns();
-  } else {
-    // Host-driven windowed streaming (assisted adds the GPU flag cycle).
-    sim::Trigger done;
-    SimTime t_start = 0, t_end = 0;
-    const std::uint32_t window = 16;
-    auto sender = [](host::HostCpu& cpu, IbHostEndpoint& ep, SendWqe wqe,
-                     std::uint32_t count, std::uint32_t window,
-                     SimTime* t_start, SimTime* t_end,
-                     sim::Trigger& done) -> sim::SimTask {
-      *t_start = cpu.sim().now();
-      std::uint32_t outstanding = 0;
-      for (std::uint32_t i = 0; i < count; ++i) {
-        if (outstanding == window) {
-          co_await cpu.poll_until([&] { return ep.cq().pending(cpu); });
-          co_await cpu.touch_dram();
-          (void)ep.cq().consume(cpu);
-          --outstanding;
-        }
-        co_await cpu.build_descriptor();
-        SendWqe w = wqe;
-        w.wr_id = i;
-        cpu.store_bytes(ep.qp().sq_buffer +
-                            (ep.sq_produced() % ep.qp().sq_entries) *
-                                ib::kSendWqeBytes,
-                        ib::encode_send_wqe(w));
-        ep.bump_sq();
-        co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-        ++outstanding;
-      }
-      while (outstanding > 0) {
-        co_await cpu.poll_until([&] { return ep.cq().pending(cpu); });
-        co_await cpu.touch_dram();
-        (void)ep.cq().consume(cpu);
-        --outstanding;
-      }
-      *t_end = cpu.sim().now();
-      done.fire();
-    };
-    SendWqe wqe;
-    wqe.opcode = WqeOpcode::kRdmaWrite;
-    wqe.signaled = true;
-    wqe.byte_len = size;
-    wqe.laddr = p.send0;
-    wqe.lkey = p.mr_send0.lkey;
-    wqe.raddr = p.recv1;
-    wqe.rkey = p.mr_recv1.rkey;
-
-    if (mode == TransferMode::kHostControlled) {
-      auto task = sender(n0.cpu(), p.ep0, wqe, messages, window, &t_start,
-                         &t_end, done);
-      if (!run_to(cluster, [&] { return done.fired(); })) return result;
-    } else {  // kHostAssisted: flag cycle per message, window 1
-      const Addr stats0 = n0.gpu_heap().alloc(kStatsBytes, 64);
-      const Addr table = n0.gpu_heap().alloc(24, 64);
-      const Addr go_flag = n0.host_heap().alloc(8, 8);
-      const Addr ack_flag = n0.gpu_heap().alloc(8, 8);
-      n0.memory().write_u64(table + 0, go_flag);
-      n0.memory().write_u64(table + 8, ack_flag);
-      n0.memory().write_u64(table + 16, stats0);
-      AssistedLoopConfig acfg;
-      acfg.iterations = messages;
-      const gpu::Program prog = build_assisted_loop_kernel(acfg);
-      sim::Trigger kernel_done;
-      launch_with_trigger(n0.gpu(), {.program = &prog, .params = {table}},
-                          kernel_done);
-      auto server = [](host::HostCpu& cpu, IbHostEndpoint& ep, SendWqe wqe,
-                       Addr go, Addr ack, std::uint32_t count,
-                       SimTime* t_start, SimTime* t_end,
-                       sim::Trigger& done) -> sim::SimTask {
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const std::uint64_t tag = i + 1;
-          co_await cpu.poll_until(
-              [&cpu, go, tag] { return cpu.load_u64(go) >= tag; });
-          if (i == 0) *t_start = cpu.sim().now();
-          co_await cpu.build_descriptor();
-          SendWqe w = wqe;
-          w.wr_id = i;
-          cpu.store_bytes(ep.qp().sq_buffer +
-                              (ep.sq_produced() % ep.qp().sq_entries) *
-                                  ib::kSendWqeBytes,
-                          ib::encode_send_wqe(w));
-          ep.bump_sq();
-          co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-          co_await cpu.poll_until([&] { return ep.cq().pending(cpu); });
-          co_await cpu.touch_dram();
-          (void)ep.cq().consume(cpu);
-          co_await cpu.mmio_write_u64(ack, tag);
-        }
-        *t_end = cpu.sim().now();
-        done.fire();
-      };
-      auto task = server(n0.cpu(), p.ep0, wqe, go_flag, ack_flag, messages,
-                         &t_start, &t_end, done);
-      if (!run_to(cluster,
-                  [&] { return done.fired() && kernel_done.fired(); })) {
-        return result;
-      }
-    }
-    span_ns = to_ns(t_end - t_start);
-  }
-
-  if (span_ns > 0) {
-    result.mb_per_s =
-        static_cast<double>(result.bytes) / (span_ns / 1e9) / 1e6;
-  }
-  result.payload_ok = ranges_equal(n0, p.send0, n1, p.recv1, size) &&
-                      n1.hca().messages_delivered() >= messages;
-  return result;
+  IbTransport t(location);
+  return run_bandwidth(t, cfg, mode, size, messages);
 }
-
-// ---------------------------------------------------------------------------
-// Fig 5: message rate.
 
 MessageRateResult run_ib_msgrate(const sys::ClusterConfig& cfg,
                                  RateVariant variant, std::uint32_t pairs,
                                  std::uint32_t msgs_per_pair) {
-  MessageRateResult result;
-  result.messages = static_cast<std::uint64_t>(pairs) * msgs_per_pair;
-  constexpr std::uint32_t kMsgSize = 64;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(),
-            op_label("ib-msgrate", rate_variant_name(variant), kMsgSize));
-  sys::Node& n0 = cluster.node(0);
-
-  struct Conn {
-    IbPair pair;
-    Addr qpc = 0;
-    Addr stats = 0;
-  };
-  std::vector<Conn> conns;
-  conns.reserve(pairs);
-  for (std::uint32_t i = 0; i < pairs; ++i) {
-    auto pair = IbPair::create(cluster, QueueLocation::kGpuMemory, kMsgSize,
-                               700 + i);
-    if (!pair.is_ok()) return result;
-    const Addr table = make_qp_table(n0, pair->ep0.qp().qpn, 8);
-    Conn c{*pair, 0, n0.gpu_heap().alloc(kStatsBytes, 64)};
-    c.qpc = make_qp_device_context(n0, c.pair.ep0, table, 8);
-    conns.push_back(std::move(c));
-  }
-
-  auto wqe_template = [&](const Conn& c) {
-    IbPostSendTemplate t;
-    t.opcode = WqeOpcode::kRdmaWrite;
-    t.signaled = true;
-    t.byte_len = kMsgSize;
-    t.lkey = c.pair.mr_send0.lkey;
-    t.rkey = c.pair.mr_recv1.rkey;
-    return t;
-  };
-
-  if (variant == RateVariant::kBlocks || variant == RateVariant::kKernels) {
-    // As with EXTOLL: one post per block per kernel; relaunch rounds
-    // (blocks) or stream-queued single-block kernels (kernels). Keys can
-    // differ per connection, so each connection gets its own program with
-    // its row baked in via the parameter.
-    const Addr table = n0.gpu_heap().alloc(32 * pairs, 64);
-    std::vector<gpu::Program> progs;
-    progs.reserve(pairs);
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      const Addr row = table + i * 32;
-      n0.memory().write_u64(row + 0, conns[i].qpc);
-      n0.memory().write_u64(row + 8, conns[i].pair.send0);
-      n0.memory().write_u64(row + 16, conns[i].pair.recv1);
-      n0.memory().write_u64(row + 24, conns[i].stats);
-      IbStreamConfig scfg;
-      scfg.messages = 1;
-      scfg.window = 16;
-      scfg.wqe = wqe_template(conns[i]);
-      progs.push_back(build_ib_stream_kernel(scfg));
-    }
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = t_start;
-    if (variant == RateVariant::kBlocks) {
-      // All connections share key space in this configuration; a grid of
-      // P blocks runs program 0's template (keys are identical across
-      // connections by construction of the MR tables: first-come keys).
-      sim::Trigger all_done;
-      auto round = std::make_shared<std::function<void(std::uint32_t)>>();
-      *round = [&, round](std::uint32_t r) {
-        if (r == msgs_per_pair) {
-          t_end = cluster.sim().now();
-          all_done.fire();
-          return;
-        }
-        auto remaining = std::make_shared<std::uint32_t>(pairs);
-        for (std::uint32_t i = 0; i < pairs; ++i) {
-          n0.gpu().launch({.program = &progs[i],
-                           .params = {table + i * 32}},
-                          [&, round, r, remaining] {
-                            if (--*remaining == 0) {
-                              cluster.sim().schedule(
-                                  n0.cpu().config().driver_call_cost,
-                                  [round, r] { (*round)(r + 1); });
-                            }
-                          });
-        }
-      };
-      (*round)(0);
-      const bool ok = run_to(cluster, [&] { return all_done.fired(); });
-      // The closure captures `round` by value - break the self-ownership
-      // cycle so the shared state is actually released.
-      *round = {};
-      if (!ok) return result;
-    } else {
-      std::uint32_t finished = 0;
-      for (std::uint32_t i = 0; i < pairs; ++i) {
-        for (std::uint32_t r = 0; r < msgs_per_pair; ++r) {
-          n0.gpu().launch_stream(i,
-                                 {.program = &progs[i],
-                                  .params = {table + i * 32}},
-                                 [&finished, &t_end, &cluster] {
-                                   ++finished;
-                                   t_end = cluster.sim().now();
-                                 });
-        }
-      }
-      if (!run_to(cluster,
-                  [&] { return finished == pairs * msgs_per_pair; })) {
-        return result;
-      }
-    }
-    const double span_s = to_sec(t_end - t_start);
-    if (span_s > 0) {
-      result.msgs_per_s = static_cast<double>(result.messages) / span_s;
-    }
-    return result;
-  }
-
-  if (variant == RateVariant::kAssisted) {
-    const Addr table = n0.gpu_heap().alloc(24 * pairs, 64);
-    std::vector<Addr> go(pairs), ack(pairs);
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      go[i] = n0.host_heap().alloc(8, 8);
-      ack[i] = n0.gpu_heap().alloc(8, 8);
-      n0.memory().write_u64(table + i * 24 + 0, go[i]);
-      n0.memory().write_u64(table + i * 24 + 8, ack[i]);
-      n0.memory().write_u64(table + i * 24 + 16, conns[i].stats);
-    }
-    AssistedLoopConfig acfg;
-    acfg.iterations = msgs_per_pair;
-    const gpu::Program prog = build_assisted_loop_kernel(acfg);
-    sim::Trigger kernel_done, server_done;
-    launch_with_trigger(n0.gpu(),
-                        {.program = &prog, .blocks = pairs, .params = {table}},
-                        kernel_done);
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = t_start;
-    auto server = [](host::HostCpu& cpu, std::vector<Conn>& cs,
-                     std::vector<Addr> go_flags, std::vector<Addr> ack_flags,
-                     std::uint32_t msg_size, std::uint64_t total,
-                     SimTime* t_end, sim::Trigger& done) -> sim::SimTask {
-      // Lazy completion consumption, as in the EXTOLL variant: post on a
-      // raised flag, pick the CQE up on a later visit.
-      std::vector<std::uint64_t> served(cs.size(), 0);
-      std::vector<std::uint32_t> outstanding(cs.size(), 0);
-      std::uint64_t handled = 0;
-      while (handled < total) {
-        bool progressed = false;
-        for (std::size_t j = 0; j < cs.size(); ++j) {
-          IbHostEndpoint& ep = cs[j].pair.ep0;
-          if (outstanding[j] > 0 && ep.cq().pending(cpu)) {
-            co_await cpu.touch_dram();
-            (void)ep.cq().consume(cpu);
-            --outstanding[j];
-            ++handled;
-            progressed = true;
-          }
-          if (cpu.load_u64(go_flags[j]) <= served[j]) continue;
-          progressed = true;
-          co_await cpu.build_descriptor();
-          SendWqe w;
-          w.opcode = WqeOpcode::kRdmaWrite;
-          w.signaled = true;
-          w.byte_len = msg_size;
-          w.laddr = cs[j].pair.send0;
-          w.lkey = cs[j].pair.mr_send0.lkey;
-          w.raddr = cs[j].pair.recv1;
-          w.rkey = cs[j].pair.mr_recv1.rkey;
-          w.wr_id = served[j];
-          cpu.store_bytes(ep.qp().sq_buffer +
-                              (ep.sq_produced() % ep.qp().sq_entries) *
-                                  ib::kSendWqeBytes,
-                          ib::encode_send_wqe(w));
-          ep.bump_sq();
-          co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-          ++served[j];
-          ++outstanding[j];
-          co_await cpu.mmio_write_u64(ack_flags[j], served[j]);
-        }
-        if (!progressed) {
-          co_await cpu.delay(cpu.config().cached_poll_interval);
-        }
-      }
-      *t_end = cpu.sim().now();
-      done.fire();
-    };
-    auto serve = server(n0.cpu(), conns, go, ack, kMsgSize, result.messages,
-                        &t_end, server_done);
-    if (!run_to(cluster,
-                [&] { return kernel_done.fired() && server_done.fired(); })) {
-      return result;
-    }
-    const double span_s = to_sec(t_end - t_start);
-    if (span_s > 0) {
-      result.msgs_per_s = static_cast<double>(result.messages) / span_s;
-    }
-    return result;
-  }
-
-  // kHostControlled: one host thread per QP, windowed posting.
-  {
-    std::uint32_t finished = 0;
-    const SimTime t_start = cluster.sim().now();
-    SimTime t_end = t_start;
-    auto sender = [](host::HostCpu& cpu, Conn& conn, std::uint32_t msg_size,
-                     std::uint32_t count, std::uint32_t* finished,
-                     SimTime* t_end) -> sim::SimTask {
-      IbHostEndpoint& ep = conn.pair.ep0;
-      std::uint32_t outstanding = 0;
-      const std::uint32_t window = 16;
-      for (std::uint32_t i = 0; i < count; ++i) {
-        if (outstanding == window) {
-          co_await cpu.poll_until([&] { return ep.cq().pending(cpu); });
-          co_await cpu.touch_dram();
-          (void)ep.cq().consume(cpu);
-          --outstanding;
-        }
-        co_await cpu.build_descriptor();
-        SendWqe w;
-        w.opcode = WqeOpcode::kRdmaWrite;
-        w.signaled = true;
-        w.byte_len = msg_size;
-        w.laddr = conn.pair.send0;
-        w.lkey = conn.pair.mr_send0.lkey;
-        w.raddr = conn.pair.recv1;
-        w.rkey = conn.pair.mr_recv1.rkey;
-        w.wr_id = i;
-        cpu.store_bytes(ep.qp().sq_buffer +
-                            (ep.sq_produced() % ep.qp().sq_entries) *
-                                ib::kSendWqeBytes,
-                        ib::encode_send_wqe(w));
-        ep.bump_sq();
-        co_await cpu.mmio_write_u64(ep.qp().sq_doorbell, ep.sq_produced());
-        ++outstanding;
-      }
-      while (outstanding > 0) {
-        co_await cpu.poll_until([&] { return ep.cq().pending(cpu); });
-        co_await cpu.touch_dram();
-        (void)ep.cq().consume(cpu);
-        --outstanding;
-      }
-      ++*finished;
-      *t_end = cpu.sim().now();
-    };
-    std::vector<sim::SimTask> tasks;
-    tasks.reserve(pairs);
-    for (std::uint32_t i = 0; i < pairs; ++i) {
-      tasks.push_back(sender(n0.cpu(), conns[i], kMsgSize, msgs_per_pair,
-                             &finished, &t_end));
-    }
-    if (!run_to(cluster, [&] { return finished == pairs; })) return result;
-    const double span_s = to_sec(t_end - t_start);
-    if (span_s > 0) {
-      result.msgs_per_s = static_cast<double>(result.messages) / span_s;
-    }
-  }
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// Sec. V-B.3: instruction counts of the ported verbs calls.
-
-VerbsInstructionCounts measure_verbs_instruction_counts(
-    const sys::ClusterConfig& cfg, QueueLocation location) {
-  VerbsInstructionCounts out;
-  sys::Cluster cluster(cfg);
-  OpSpan op(cluster.sim(),
-            op_label("ib-verbs-instr", queue_location_name(location), 64));
-  sys::Node& n0 = cluster.node(0);
-  auto pair = IbPair::create(cluster, location, 64, 909);
-  if (!pair.is_ok()) return out;
-  IbPair& p = *pair;
-  const Addr table = make_qp_table(n0, p.ep0.qp().qpn, 8);
-  const Addr qpc = make_qp_device_context(n0, p.ep0, table, 8);
-
-  const gpu::Reg qpc_r(9), laddr(10), raddr(11), wr_id(12), status(17);
-  const gpu::Reg s0(23), s1(24), s2(25), s3(26), s4(27), s5(28);
-  auto prologue = [&](gpu::Assembler& a) {
-    a.movi(qpc_r, static_cast<std::int64_t>(qpc));
-    a.movi(laddr, static_cast<std::int64_t>(p.send0));
-    a.movi(raddr, static_cast<std::int64_t>(p.recv1));
-    a.movi(wr_id, 1);
-  };
-  IbPostSendTemplate tmpl;
-  tmpl.opcode = WqeOpcode::kRdmaWrite;
-  tmpl.signaled = true;
-  tmpl.byte_len = 64;
-  tmpl.lkey = p.mr_send0.lkey;
-  tmpl.rkey = p.mr_recv1.rkey;
-
-  auto run_and_count = [&](const gpu::Program& prog, std::uint64_t* instr,
-                           std::uint64_t* mem) {
-    const gpu::PerfCounters before = n0.gpu().counters_snapshot();
-    bool finished = false;
-    n0.gpu().launch({.program = &prog, .params = {}},
-                    [&finished] { finished = true; });
-    cluster.run_until([&] { return finished; });
-    cluster.sim().run_until(cluster.sim().now() + microseconds(200));
-    const gpu::PerfCounters delta = n0.gpu().counters_snapshot() - before;
-    *instr = delta.instructions_executed;
-    *mem = delta.memory_accesses;
-  };
-
-  // Baseline: prologue only.
-  std::uint64_t base_instr = 0, base_mem = 0;
-  {
-    gpu::Assembler a("verbs_baseline");
-    prologue(a);
-    a.exit();
-    auto prog = a.finish();
-    run_and_count(*prog, &base_instr, &base_mem);
-  }
-  // post_send once.
-  {
-    gpu::Assembler a("verbs_post_once");
-    prologue(a);
-    emit_ib_post_send(a, {qpc_r, laddr, raddr, wr_id}, tmpl, s0, s1, s2, s3,
-                      s4, s5);
-    a.exit();
-    auto prog = a.finish();
-    std::uint64_t instr = 0, mem = 0;
-    run_and_count(*prog, &instr, &mem);
-    out.post_send_instructions = instr - base_instr;
-    out.post_send_mem_accesses = mem - base_mem;
-  }
-  // poll_cq once, with the completion already present (one successful
-  // poll, as the paper measures). The previous post's CQE has landed by
-  // now (run_and_count drains the simulator).
-  {
-    gpu::Assembler a("verbs_poll_once");
-    prologue(a);
-    emit_ib_poll_cq(a, qpc_r, status, s0, s1, s2, s3, s4, s5);
-    a.exit();
-    auto prog = a.finish();
-    std::uint64_t instr = 0, mem = 0;
-    run_and_count(*prog, &instr, &mem);
-    out.poll_cq_instructions = instr - base_instr;
-    out.poll_cq_mem_accesses = mem - base_mem;
-  }
-  return out;
+  // Queue rings live in GPU memory for the rate experiment, matching the
+  // paper's dev2dev configuration.
+  IbTransport t(QueueLocation::kGpuMemory);
+  return run_msgrate(t, cfg, variant, pairs, msgs_per_pair);
 }
 
 }  // namespace pg::putget

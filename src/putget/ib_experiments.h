@@ -1,10 +1,12 @@
 // The paper's InfiniBand experiments (Figs. 4-5, Table II, and the
-// Sec. V-B.3 instruction-count micro-measurements).
+// Sec. V-B.3 instruction-count micro-measurements). Thin wrappers over
+// the generic driver (experiments.h) instantiated with the IB transport
+// backend.
 #pragma once
 
 #include "gpu/counters.h"
-#include "putget/extoll_experiments.h"  // PingPongResult etc.
 #include "putget/modes.h"
+#include "putget/results.h"
 #include "sys/cluster.h"
 
 namespace pg::putget {

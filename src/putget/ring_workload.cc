@@ -1,0 +1,409 @@
+#include "putget/ring_workload.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "gpu/assembler.h"
+#include "putget/extoll_host.h"
+#include "putget/ib_host.h"
+#include "sim/coro.h"
+
+namespace pg::putget {
+
+namespace {
+
+using mem::Addr;
+
+/// One diffusion step: next[i] = (cur[i-1] + cur[i+1]) / 2 for the owned
+/// cells; the halo slots at either end are read, never written. Written
+/// in the simulator's PTX-lite ISA, one thread per owned cell.
+gpu::Program build_stencil_kernel() {
+  gpu::Assembler a("ring_diffusion_step");
+  using gpu::Reg;
+  using gpu::Sreg;
+  const Reg cur(4), next(5);  // kernel params: buffer base addresses
+  const Reg tid(8), addr(9), left(10), right(11), val(12);
+  a.sreg(tid, Sreg::kTidX);
+  // cell index = tid + 1 (skip the left halo slot)
+  a.addi(tid, tid, 1);
+  a.muli(addr, tid, 8);
+  a.add(addr, addr, cur);
+  a.ld(left, addr, -8, 8);
+  a.ld(right, addr, 8, 8);
+  a.add(val, left, right);
+  a.shri(val, val, 1);
+  a.muli(addr, tid, 8);
+  a.add(addr, addr, next);
+  a.st(addr, val, 0, 8);
+  a.exit();
+  auto p = a.finish();
+  if (!p.is_ok()) std::abort();
+  return std::move(p).value();
+}
+
+/// Host reference over the full periodic domain.
+std::vector<std::uint64_t> reference(std::vector<std::uint64_t> field,
+                                     std::uint32_t iterations) {
+  const std::size_t m = field.size();
+  std::vector<std::uint64_t> next(m);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t left = field[(i + m - 1) % m];
+      const std::uint64_t right = field[(i + 1) % m];
+      next[i] = (left + right) / 2;
+    }
+    field.swap(next);
+  }
+  return field;
+}
+
+/// Deterministic initial condition: moderate values (< 2^20) so the
+/// two-cell sums in the stencil never overflow.
+std::uint64_t init_cell(std::size_t global) {
+  return (global * 0x9E3779B9ull >> 8) & 0xFFFFF;
+}
+
+/// Per-node field state shared by both backends. Layout per buffer
+/// (u64 cells): [0] left halo, [1..cells] owned, [cells+1] right halo;
+/// two buffers alternate per step.
+struct NodeField {
+  Addr buf[2] = {0, 0};
+};
+
+// ---------------------------------------------------------------------------
+// EXTOLL backend: one RMA put per halo. Port 0 carries the right-going
+// edge (so a node's port-0 completer queue receives from its LEFT
+// neighbour), port 1 the left-going edge. WR.dst_node steers each put
+// to the neighbour through the NIC route table the ring topology wired.
+
+struct ExtollNodeState {
+  ExtollHostPort port_right;  // port 0: sends right, receives from left
+  ExtollHostPort port_left;   // port 1: sends left, receives from right
+  extoll::Nla nla[2] = {0, 0};
+
+  ExtollNodeState(ExtollHostPort r, ExtollHostPort l)
+      : port_right(std::move(r)), port_left(std::move(l)) {}
+};
+
+bool extoll_exchange(sys::Cluster& cluster, std::vector<ExtollNodeState>& st,
+                     std::uint32_t cells, int nxt) {
+  const int n = cluster.num_nodes();
+  std::vector<sim::SimTask> tasks;
+  std::vector<sim::Trigger> landed(static_cast<std::size_t>(n) * 4);
+  // post() binds the WR by reference into its coroutine, so the WRs must
+  // outlive the run_until below.
+  std::vector<extoll::WorkRequest> wrs(static_cast<std::size_t>(n) * 2);
+  tasks.reserve(static_cast<std::size_t>(n) * 8);
+  for (int i = 0; i < n; ++i) {
+    sys::Node& node = cluster.node(i);
+    const int right = (i + 1) % n;
+    const int left = (i + n - 1) % n;
+
+    extoll::WorkRequest wr_right;
+    wr_right.cmd = extoll::RmaCmd::kPut;
+    wr_right.port = 0;
+    wr_right.size = 8;
+    wr_right.notify_requester = true;
+    wr_right.notify_completer = true;
+    wr_right.dst_node = right;
+    wr_right.src_nla = st[i].nla[nxt] + cells * 8;  // rightmost owned cell
+    wr_right.dst_nla = st[right].nla[nxt] + 0;      // their left halo
+
+    extoll::WorkRequest wr_left = wr_right;
+    wr_left.port = 1;
+    wr_left.dst_node = left;
+    wr_left.src_nla = st[i].nla[nxt] + 1 * 8;            // leftmost owned
+    wr_left.dst_nla = st[left].nla[nxt] + (cells + 1) * 8;
+
+    wrs[i * 2 + 0] = wr_right;
+    wrs[i * 2 + 1] = wr_left;
+    tasks.push_back(st[i].port_right.post(node.cpu(), wrs[i * 2 + 0]));
+    tasks.push_back(st[i].port_left.post(node.cpu(), wrs[i * 2 + 1]));
+    // Own puts accepted by the requester (frees the port for the next
+    // iteration), both inbound halos landed.
+    tasks.push_back(
+        st[i].port_right.wait_requester(node.cpu(), &landed[i * 4 + 0]));
+    tasks.push_back(
+        st[i].port_left.wait_requester(node.cpu(), &landed[i * 4 + 1]));
+    tasks.push_back(
+        st[i].port_right.wait_completer(node.cpu(), &landed[i * 4 + 2]));
+    tasks.push_back(
+        st[i].port_left.wait_completer(node.cpu(), &landed[i * 4 + 3]));
+  }
+  return cluster.run_until([&] {
+    for (const sim::Trigger& t : landed) {
+      if (!t.fired()) return false;
+    }
+    return true;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// InfiniBand backend: one RC QP pair per ring edge, pinned to that
+// edge's link via the routed connect_qp. Halos travel as unsignaled
+// RDMA-write-with-immediate against a pre-posted receive, so arrival
+// shows up as a CQE on the target's edge endpoint.
+
+struct IbEdgeState {
+  IbHostEndpoint ep_a;  // on edge.a: sends right, receives from edge.b
+  IbHostEndpoint ep_b;  // on edge.b: sends left, receives from edge.a
+
+  IbEdgeState(IbHostEndpoint a, IbHostEndpoint b)
+      : ep_a(std::move(a)), ep_b(std::move(b)) {}
+};
+
+struct IbNodeState {
+  ib::Mr mr[2];
+};
+
+bool ib_exchange(sys::Cluster& cluster, std::vector<IbEdgeState>& edges,
+                 const std::vector<IbNodeState>& mrs,
+                 const std::vector<NodeField>& fields, std::uint32_t cells,
+                 int nxt, std::uint32_t iter) {
+  const int n = cluster.num_nodes();
+  // Phase A: pre-post one receive per endpoint before any put can land.
+  {
+    std::vector<sim::SimTask> tasks;
+    std::vector<sim::Trigger> posted(static_cast<std::size_t>(n) * 2);
+    tasks.reserve(static_cast<std::size_t>(n) * 2);
+    for (int e = 0; e < n; ++e) {
+      const int a = e, b = (e + 1) % n;
+      ib::RecvWqe rwqe;
+      rwqe.len = 8;
+      rwqe.wr_id = iter;
+      rwqe.addr = fields[a].buf[nxt];
+      rwqe.lkey = mrs[a].mr[nxt].lkey;
+      tasks.push_back(edges[e].ep_a.post_recv(cluster.node(a).cpu(), rwqe,
+                                              &posted[e * 2 + 0]));
+      rwqe.addr = fields[b].buf[nxt];
+      rwqe.lkey = mrs[b].mr[nxt].lkey;
+      tasks.push_back(edges[e].ep_b.post_recv(cluster.node(b).cpu(), rwqe,
+                                              &posted[e * 2 + 1]));
+    }
+    if (!cluster.run_until([&] {
+          for (const sim::Trigger& t : posted) {
+            if (!t.fired()) return false;
+          }
+          return true;
+        })) {
+      return false;
+    }
+  }
+  // Phase B: both edge directions post their halo write, then every
+  // endpoint drains the immediate-data CQE of the inbound write.
+  std::vector<sim::SimTask> tasks;
+  std::vector<ib::Cqe> cqes(static_cast<std::size_t>(n) * 2);
+  std::vector<sim::Trigger> landed(static_cast<std::size_t>(n) * 2);
+  tasks.reserve(static_cast<std::size_t>(n) * 4);
+  for (int e = 0; e < n; ++e) {
+    const int a = e, b = (e + 1) % n;
+    ib::SendWqe wqe;
+    wqe.opcode = ib::WqeOpcode::kRdmaWriteImm;
+    wqe.signaled = false;
+    wqe.byte_len = 8;
+    wqe.wr_id = iter;
+    wqe.imm = iter;
+    // a's rightmost owned cell -> b's left halo.
+    wqe.laddr = fields[a].buf[nxt] + cells * 8;
+    wqe.lkey = mrs[a].mr[nxt].lkey;
+    wqe.raddr = fields[b].buf[nxt] + 0;
+    wqe.rkey = mrs[b].mr[nxt].rkey;
+    tasks.push_back(edges[e].ep_a.post_send(cluster.node(a).cpu(), wqe));
+    // b's leftmost owned cell -> a's right halo.
+    wqe.laddr = fields[b].buf[nxt] + 1 * 8;
+    wqe.lkey = mrs[b].mr[nxt].lkey;
+    wqe.raddr = fields[a].buf[nxt] + (cells + 1) * 8;
+    wqe.rkey = mrs[a].mr[nxt].rkey;
+    tasks.push_back(edges[e].ep_b.post_send(cluster.node(b).cpu(), wqe));
+    tasks.push_back(edges[e].ep_a.wait_cqe(cluster.node(a).cpu(),
+                                           &cqes[e * 2 + 0],
+                                           &landed[e * 2 + 0]));
+    tasks.push_back(edges[e].ep_b.wait_cqe(cluster.node(b).cpu(),
+                                           &cqes[e * 2 + 1],
+                                           &landed[e * 2 + 1]));
+  }
+  return cluster.run_until([&] {
+    for (const sim::Trigger& t : landed) {
+      if (!t.fired()) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace
+
+const char* ring_backend_name(RingBackend b) {
+  switch (b) {
+    case RingBackend::kExtoll: return "extoll";
+    case RingBackend::kIb: return "ib";
+  }
+  return "?";
+}
+
+RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
+                                  const RingConfig& ring) {
+  RingResult out;
+  out.iterations = ring.iterations;
+  out.cells_per_node = ring.cells_per_node;
+  if (cfg.topology != net::Topology::kRing) {
+    PG_ERROR("putget", "ring workload needs the ring topology");
+    return out;
+  }
+  const bool want_extoll = ring.backend == RingBackend::kExtoll;
+  if ((want_extoll && !cfg.node.with_extoll) ||
+      (!want_extoll && !cfg.node.with_ib)) {
+    PG_ERROR("putget", "ring workload: %s NIC not enabled in the config",
+             ring_backend_name(ring.backend));
+    return out;
+  }
+  const std::uint32_t cells = ring.cells_per_node;
+  if (cells < 2 || cells > 1024 || ring.iterations == 0) {
+    PG_ERROR("putget", "ring workload: bad cells_per_node/iterations");
+    return out;
+  }
+
+  sys::Cluster cluster(cfg);
+  const int n = cluster.num_nodes();
+  out.num_nodes = n;
+  const std::uint64_t field_bytes = (cells + 2) * 8;
+
+  // Double-buffered field per GPU.
+  std::vector<NodeField> fields(n);
+  for (int i = 0; i < n; ++i) {
+    fields[i].buf[0] = cluster.node(i).gpu_heap().alloc(field_bytes, 64);
+    fields[i].buf[1] = cluster.node(i).gpu_heap().alloc(field_bytes, 64);
+  }
+
+  // Backend connection state.
+  std::vector<ExtollNodeState> ext;
+  std::vector<IbEdgeState> ib_edges;
+  std::vector<IbNodeState> ib_mrs(n);
+  if (want_extoll) {
+    for (int i = 0; i < n; ++i) {
+      sys::Node& node = cluster.node(i);
+      auto pr = ExtollHostPort::open(node.extoll(), 0);
+      auto pl = ExtollHostPort::open(node.extoll(), 1);
+      if (!pr.is_ok() || !pl.is_ok()) return out;
+      ext.emplace_back(std::move(*pr), std::move(*pl));
+      for (int b = 0; b < 2; ++b) {
+        auto nla = node.extoll().register_memory(fields[i].buf[b],
+                                                 field_bytes,
+                                                 mem::Access::kReadWrite);
+        if (!nla.is_ok()) return out;
+        ext[i].nla[b] = *nla;
+      }
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      for (int b = 0; b < 2; ++b) {
+        auto mr = cluster.node(i).hca().reg_mr(fields[i].buf[b], field_bytes,
+                                               mem::Access::kReadWrite);
+        if (!mr.is_ok()) return out;
+        ib_mrs[i].mr[b] = *mr;
+      }
+    }
+    IbHostEndpoint::Options opts;
+    opts.sq_entries = 64;
+    opts.rq_entries = 64;
+    opts.cq_entries = 256;
+    opts.location = QueueLocation::kHostMemory;
+    for (int e = 0; e < n; ++e) {
+      const int a = e, b = (e + 1) % n;
+      auto ea = IbHostEndpoint::create(cluster.node(a), opts);
+      auto eb = IbHostEndpoint::create(cluster.node(b), opts);
+      if (!ea.is_ok() || !eb.is_ok()) return out;
+      // Pin both directions of the edge's traffic to the edge's link.
+      const sys::Cluster::Route ra = cluster.ib_route(a, b);
+      const sys::Cluster::Route rb = cluster.ib_route(b, a);
+      if (ra.link == nullptr || rb.link == nullptr) return out;
+      (void)cluster.node(a).hca().connect_qp(ea->qp().qpn, eb->qp().qpn,
+                                             ra.link, ra.side);
+      (void)cluster.node(b).hca().connect_qp(eb->qp().qpn, ea->qp().qpn,
+                                             rb.link, rb.side);
+      ib_edges.emplace_back(std::move(*ea), std::move(*eb));
+    }
+  }
+
+  // Initial condition over the global periodic domain, including the
+  // matching halos of buffer 0 (there has been no exchange yet).
+  const std::size_t m = static_cast<std::size_t>(n) * cells;
+  std::vector<std::uint64_t> init(m);
+  for (std::size_t g = 0; g < m; ++g) init[g] = init_cell(g);
+  for (int i = 0; i < n; ++i) {
+    sys::Node& node = cluster.node(i);
+    const std::size_t base = static_cast<std::size_t>(i) * cells;
+    for (std::uint32_t c = 0; c < cells; ++c) {
+      node.memory().write_u64(fields[i].buf[0] + (c + 1) * 8,
+                              init[base + c]);
+    }
+    node.memory().write_u64(fields[i].buf[0] + 0,
+                            init[(base + m - 1) % m]);  // left halo
+    node.memory().write_u64(fields[i].buf[0] + (cells + 1) * 8,
+                            init[(base + cells) % m]);  // right halo
+  }
+
+  const gpu::Program stencil = build_stencil_kernel();
+
+  for (std::uint32_t it = 0; it < ring.iterations; ++it) {
+    const int cur = static_cast<int>(it % 2);
+    const int nxt = 1 - cur;
+    // All GPUs step.
+    std::vector<char> done(n, 0);
+    for (int i = 0; i < n; ++i) {
+      cluster.node(i).gpu().launch(
+          {.program = &stencil,
+           .threads_per_block = cells,
+           .params = {fields[i].buf[cur], fields[i].buf[nxt]}},
+          [&done, i] { done[i] = 1; });
+    }
+    if (!cluster.run_until([&] {
+          for (char d : done) {
+            if (!d) return false;
+          }
+          return true;
+        })) {
+      return out;
+    }
+    // Boundary cells of the freshly computed buffer cross the ring.
+    const bool ok =
+        want_extoll
+            ? extoll_exchange(cluster, ext, cells, nxt)
+            : ib_exchange(cluster, ib_edges, ib_mrs, fields, cells, nxt, it);
+    if (!ok) return out;
+    out.halo_messages += static_cast<std::uint64_t>(n) * 2;
+  }
+
+  // Settle in-flight ACK/notification traffic before reading counters.
+  cluster.sim().run_until(cluster.sim().now() + microseconds(50));
+
+  for (int i = 0; i < n; ++i) {
+    out.delivered += want_extoll ? cluster.node(i).extoll().puts_completed()
+                                 : cluster.node(i).hca().messages_delivered();
+  }
+
+  // Verify against the host reference of the full periodic domain.
+  const auto expect = reference(init, ring.iterations);
+  const int fin = static_cast<int>(ring.iterations % 2);
+  bool all_ok = true;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * cells;
+    for (std::uint32_t c = 0; c < cells; ++c) {
+      const std::uint64_t got =
+          cluster.node(i).memory().read_u64(fields[i].buf[fin] + (c + 1) * 8);
+      if (got != expect[base + c]) {
+        PG_ERROR("putget", "ring mismatch node %d cell %u: %llu != %llu", i,
+                 c, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(expect[base + c]));
+        all_ok = false;
+      }
+      out.checksum += got;
+    }
+  }
+  out.verified = all_ok;
+  out.sim_time_us = to_us(cluster.sim().now());
+  out.events_scheduled = cluster.sim().total_scheduled();
+  return out;
+}
+
+}  // namespace pg::putget

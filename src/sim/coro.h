@@ -54,6 +54,68 @@ class SimTask {
   std::shared_ptr<bool> done_;
 };
 
+/// An awaitable sub-coroutine: `co_await some_co_task()` runs the callee
+/// to completion before the caller resumes. Unlike SimTask, the body is
+/// lazy — it starts when awaited — and completion hands control straight
+/// back to the awaiting coroutine via symmetric transfer, so composing
+/// control flow out of CoTasks schedules exactly the same events as
+/// writing it inline. That property is what lets backend-specific host
+/// sequences be factored out of the experiment drivers without
+/// perturbing the deterministic event fingerprint.
+///
+/// A CoTask must be awaited (or destroyed unstarted) by its owner; it is
+/// move-only and destroys the coroutine frame in its destructor.
+class [[nodiscard]] CoTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation = std::noop_coroutine();
+
+    CoTask get_return_object() {
+      return CoTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        return h.promise().continuation;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {
+      std::fprintf(stderr, "CoTask: unhandled exception in coroutine\n");
+      std::terminate();
+    }
+  };
+
+  CoTask() = default;
+  CoTask(CoTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask& operator=(CoTask&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~CoTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit CoTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
 /// co_await Delay{sim, d}: resume after d simulated time.
 struct Delay {
   Simulation& sim;

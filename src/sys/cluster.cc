@@ -1,21 +1,105 @@
 #include "sys/cluster.h"
 
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+
 namespace pg::sys {
 
-Cluster::Cluster(const ClusterConfig& cfg) {
-  sim_.set_event_limit(100'000'000);  // storm guard for runaway models
-  nodes_[0] = std::make_unique<Node>(sim_, cfg.node, "node0");
-  nodes_[1] = std::make_unique<Node>(sim_, cfg.node, "node1");
+namespace {
+
+Status check_net(const net::NetConfig& net, const char* which) {
+  if (net.bandwidth.bytes_per_second <= 0.0) {
+    return invalid_argument(std::string(which) +
+                            " link bandwidth must be positive");
+  }
+  if (net.latency < 0) {
+    return invalid_argument(std::string(which) +
+                            " link latency must be non-negative");
+  }
+  if (net.mtu == 0) {
+    return invalid_argument(std::string(which) + " link mtu must be positive");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status Cluster::validate(const ClusterConfig& cfg) {
+  if (cfg.num_nodes < 2) {
+    return invalid_argument("cluster needs at least 2 nodes");
+  }
   if (cfg.node.with_extoll) {
-    extoll_link_ = std::make_unique<net::NetworkLink>(sim_, cfg.extoll_net);
-    nodes_[0]->extoll().connect(extoll_link_.get(), 0);
-    nodes_[1]->extoll().connect(extoll_link_.get(), 1);
+    if (Status s = check_net(cfg.extoll_net, "extoll"); !s.is_ok()) return s;
   }
   if (cfg.node.with_ib) {
-    ib_link_ = std::make_unique<net::NetworkLink>(sim_, cfg.ib_net);
-    nodes_[0]->hca().connect(ib_link_.get(), 0);
-    nodes_[1]->hca().connect(ib_link_.get(), 1);
+    if (Status s = check_net(cfg.ib_net, "ib"); !s.is_ok()) return s;
   }
+  return Status::ok();
+}
+
+Cluster::Cluster(const ClusterConfig& cfg) {
+  if (Status s = validate(cfg); !s.is_ok()) {
+    PG_ERROR("sys", "invalid ClusterConfig: %s", s.message().c_str());
+    std::abort();
+  }
+  sim_.set_event_limit(100'000'000);  // storm guard for runaway models
+  nodes_.reserve(cfg.num_nodes);
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, cfg.node,
+                                            "node" + std::to_string(i)));
+  }
+  const auto plan = net::plan_links(cfg.topology, cfg.num_nodes);
+  if (cfg.node.with_extoll) {
+    for (const net::LinkPlan& lp : plan) {
+      auto link = std::make_unique<net::NetworkLink>(sim_, cfg.extoll_net);
+      nodes_[lp.a]->extoll().connect(link.get(), 0);
+      nodes_[lp.b]->extoll().connect(link.get(), 1);
+      nodes_[lp.a]->extoll().add_route(lp.b, link.get(), 0);
+      nodes_[lp.b]->extoll().add_route(lp.a, link.get(), 1);
+      extoll_routes_.push_back({lp.a, lp.b, Route{link.get(), 0}});
+      extoll_routes_.push_back({lp.b, lp.a, Route{link.get(), 1}});
+      extoll_links_.push_back(std::move(link));
+    }
+  }
+  if (cfg.node.with_ib) {
+    for (const net::LinkPlan& lp : plan) {
+      auto link = std::make_unique<net::NetworkLink>(sim_, cfg.ib_net);
+      nodes_[lp.a]->hca().connect(link.get(), 0);
+      nodes_[lp.b]->hca().connect(link.get(), 1);
+      ib_routes_.push_back({lp.a, lp.b, Route{link.get(), 0}});
+      ib_routes_.push_back({lp.b, lp.a, Route{link.get(), 1}});
+      ib_links_.push_back(std::move(link));
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Node& Cluster::node(int i) {
+  if (i < 0 || i >= num_nodes()) {
+    PG_ERROR("sys", "Cluster::node(%d) out of range [0, %d)", i, num_nodes());
+    std::abort();
+  }
+  return *nodes_[static_cast<std::size_t>(i)];
+}
+
+Cluster::Route Cluster::find_route(const std::vector<RouteEntry>& table,
+                                   int from, int to) {
+  // First entry wins, matching the NIC-level route tables.
+  for (const RouteEntry& e : table) {
+    if (e.from == from && e.to == to) return e.route;
+  }
+  return Route{};
+}
+
+Cluster::Route Cluster::extoll_route(int from, int to) const {
+  return find_route(extoll_routes_, from, to);
+}
+
+Cluster::Route Cluster::ib_route(int from, int to) const {
+  return find_route(ib_routes_, from, to);
 }
 
 }  // namespace pg::sys

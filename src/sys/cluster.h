@@ -1,11 +1,16 @@
-// The two-node testbed: a pair of Nodes joined by EXTOLL and/or
-// InfiniBand links, mirroring the paper's experimental setup (two nodes
-// with EXTOLL Galibier cards, two nodes with IB 4X FDR HCAs).
+// The simulated testbed: N Nodes joined by EXTOLL and/or InfiniBand
+// links. The default configuration (two nodes, pair topology) mirrors
+// the paper's experimental setup — two nodes with EXTOLL Galibier
+// cards, two nodes with IB 4X FDR HCAs; larger counts and the ring
+// topology back the multi-node workloads layered on top.
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "common/status.h"
 #include "net/link.h"
+#include "net/topology.h"
 #include "sim/simulation.h"
 #include "sys/node.h"
 
@@ -15,19 +20,46 @@ struct ClusterConfig {
   NodeConfig node;
   net::NetConfig extoll_net;
   net::NetConfig ib_net;
+  int num_nodes = 2;
+  net::Topology topology = net::Topology::kPair;
 };
 
 class Cluster {
  public:
+  /// Checks a config before construction: at least two nodes, and
+  /// positive link parameters for every enabled backend.
+  static Status validate(const ClusterConfig& cfg);
+
+  /// Aborts (with the validate() message) on an invalid config.
   explicit Cluster(const ClusterConfig& cfg);
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   sim::Simulation& sim() { return sim_; }
-  Node& node(int i) { return *nodes_[i]; }
-  net::NetworkLink* extoll_link() { return extoll_link_.get(); }
-  net::NetworkLink* ib_link() { return ib_link_.get(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Bounds-checked: aborts with a diagnostic on a bad index instead of
+  /// handing back a dangling reference.
+  Node& node(int i);
+
+  /// First link of each backend — the only link in the classic two-node
+  /// pair, which is what the two-node experiment drivers use.
+  net::NetworkLink* extoll_link() {
+    return extoll_links_.empty() ? nullptr : extoll_links_.front().get();
+  }
+  net::NetworkLink* ib_link() {
+    return ib_links_.empty() ? nullptr : ib_links_.front().get();
+  }
+
+  /// Egress route from node `from` to adjacent node `to` (as wired by
+  /// the topology); {nullptr, 0} when the pair is not directly linked.
+  struct Route {
+    net::NetworkLink* link = nullptr;
+    int side = 0;
+  };
+  Route extoll_route(int from, int to) const;
+  Route ib_route(int from, int to) const;
 
   /// Runs until `predicate` holds; returns false if the event queue
   /// drained or the event limit tripped first.
@@ -36,10 +68,20 @@ class Cluster {
   }
 
  private:
+  struct RouteEntry {
+    int from = 0;
+    int to = 0;
+    Route route;
+  };
+  static Route find_route(const std::vector<RouteEntry>& table, int from,
+                          int to);
+
   sim::Simulation sim_;
-  std::unique_ptr<Node> nodes_[2];
-  std::unique_ptr<net::NetworkLink> extoll_link_;
-  std::unique_ptr<net::NetworkLink> ib_link_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<net::NetworkLink>> extoll_links_;
+  std::vector<std::unique_ptr<net::NetworkLink>> ib_links_;
+  std::vector<RouteEntry> extoll_routes_;
+  std::vector<RouteEntry> ib_routes_;
 };
 
 }  // namespace pg::sys

@@ -1,0 +1,160 @@
+// Cross-backend parity suite for the unified Transport layer and the
+// N-node ring workload: both fabrics must move the same payloads with
+// exactly-once delivery, and every run must be deterministic (the
+// events-scheduled fingerprint and the field checksum repeat bit-for-bit
+// across identical runs).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "putget/extoll_experiments.h"
+#include "putget/ib_experiments.h"
+#include "putget/ring_workload.h"
+#include "sys/testbed.h"
+
+namespace pg::putget {
+namespace {
+
+sys::ClusterConfig ring_config(RingBackend backend, int nodes) {
+  sys::ClusterConfig cfg = backend == RingBackend::kExtoll
+                               ? sys::extoll_testbed()
+                               : sys::ib_testbed();
+  cfg.num_nodes = nodes;
+  cfg.topology = net::Topology::kRing;
+  return cfg;
+}
+
+RingConfig small_ring(RingBackend backend) {
+  RingConfig ring;
+  ring.backend = backend;
+  ring.cells_per_node = 16;
+  ring.iterations = 6;
+  return ring;
+}
+
+TEST(ClusterConfigValidation, RejectsSingleNode) {
+  sys::ClusterConfig cfg = sys::extoll_testbed();
+  cfg.num_nodes = 1;
+  EXPECT_FALSE(sys::Cluster::validate(cfg).is_ok());
+}
+
+TEST(ClusterConfigValidation, RejectsNonPositiveLinkBandwidth) {
+  sys::ClusterConfig cfg = sys::extoll_testbed();
+  cfg.extoll_net.bandwidth.bytes_per_second = 0.0;
+  EXPECT_FALSE(sys::Cluster::validate(cfg).is_ok());
+}
+
+TEST(ClusterConfigValidation, IgnoresDisabledBackendLinks) {
+  sys::ClusterConfig cfg = sys::extoll_testbed();  // with_ib = false
+  cfg.ib_net.bandwidth.bytes_per_second = 0.0;
+  EXPECT_TRUE(sys::Cluster::validate(cfg).is_ok());
+}
+
+TEST(ClusterConfigValidation, AcceptsRingOfFour) {
+  sys::ClusterConfig cfg = ring_config(RingBackend::kExtoll, 4);
+  EXPECT_TRUE(sys::Cluster::validate(cfg).is_ok());
+}
+
+class RingParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingParityTest, ExtollRingVerifiesExactlyOnce) {
+  const int nodes = GetParam();
+  const RingResult r = run_ring_halo_exchange(
+      ring_config(RingBackend::kExtoll, nodes),
+      small_ring(RingBackend::kExtoll));
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.num_nodes, nodes);
+  EXPECT_EQ(r.halo_messages, static_cast<std::uint64_t>(nodes) * 2 * 6);
+  EXPECT_EQ(r.delivered, r.halo_messages);
+}
+
+TEST_P(RingParityTest, IbRingVerifiesExactlyOnce) {
+  const int nodes = GetParam();
+  const RingResult r =
+      run_ring_halo_exchange(ring_config(RingBackend::kIb, nodes),
+                             small_ring(RingBackend::kIb));
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.num_nodes, nodes);
+  EXPECT_EQ(r.halo_messages, static_cast<std::uint64_t>(nodes) * 2 * 6);
+  EXPECT_EQ(r.delivered, r.halo_messages);
+}
+
+TEST_P(RingParityTest, BackendsComputeTheSameField) {
+  const int nodes = GetParam();
+  const RingResult ext = run_ring_halo_exchange(
+      ring_config(RingBackend::kExtoll, nodes),
+      small_ring(RingBackend::kExtoll));
+  const RingResult ib =
+      run_ring_halo_exchange(ring_config(RingBackend::kIb, nodes),
+                             small_ring(RingBackend::kIb));
+  ASSERT_TRUE(ext.verified);
+  ASSERT_TRUE(ib.verified);
+  EXPECT_EQ(ext.checksum, ib.checksum);
+}
+
+TEST_P(RingParityTest, FingerprintRepeatsAcrossRuns) {
+  const int nodes = GetParam();
+  for (RingBackend backend : {RingBackend::kExtoll, RingBackend::kIb}) {
+    const RingResult a = run_ring_halo_exchange(ring_config(backend, nodes),
+                                                small_ring(backend));
+    const RingResult b = run_ring_halo_exchange(ring_config(backend, nodes),
+                                                small_ring(backend));
+    ASSERT_TRUE(a.verified) << ring_backend_name(backend);
+    EXPECT_EQ(a.events_scheduled, b.events_scheduled)
+        << ring_backend_name(backend);
+    EXPECT_EQ(a.checksum, b.checksum) << ring_backend_name(backend);
+    EXPECT_EQ(a.sim_time_us, b.sim_time_us) << ring_backend_name(backend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, RingParityTest,
+                         ::testing::Values(2, 3, 4));
+
+TEST(TransportParityTest, PingPongPayloadAndFingerprintBothBackends) {
+  const auto ext_cfg = sys::extoll_testbed();
+  const auto ib_cfg = sys::ib_testbed();
+  const PingPongResult e1 = run_extoll_pingpong(
+      ext_cfg, TransferMode::kHostControlled, 64, 8);
+  const PingPongResult e2 = run_extoll_pingpong(
+      ext_cfg, TransferMode::kHostControlled, 64, 8);
+  EXPECT_TRUE(e1.payload_ok);
+  EXPECT_EQ(e1.events_scheduled, e2.events_scheduled);
+
+  const PingPongResult i1 =
+      run_ib_pingpong(ib_cfg, TransferMode::kHostControlled,
+                      QueueLocation::kHostMemory, 64, 8);
+  const PingPongResult i2 =
+      run_ib_pingpong(ib_cfg, TransferMode::kHostControlled,
+                      QueueLocation::kHostMemory, 64, 8);
+  EXPECT_TRUE(i1.payload_ok);
+  EXPECT_GT(i1.events_scheduled, 0u);
+  EXPECT_EQ(i1.events_scheduled, i2.events_scheduled);
+}
+
+TEST(TransportParityTest, PerNodeTraceTracksAreDistinct) {
+  obs::TraceRecorder recorder;
+  obs::attach_recorder(&recorder);
+  const RingResult r = run_ring_halo_exchange(
+      ring_config(RingBackend::kExtoll, 3), small_ring(RingBackend::kExtoll));
+  obs::attach_recorder(nullptr);
+  ASSERT_TRUE(r.verified);
+
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* f = open_memstream(&buf, &len);
+  ASSERT_NE(f, nullptr);
+  recorder.write_json(f);
+  std::fclose(f);
+  const std::string json(buf, len);
+  std::free(buf);
+  // Every node contributes its own component tracks ("node<i>.<unit>").
+  EXPECT_NE(json.find("node0."), std::string::npos);
+  EXPECT_NE(json.find("node1."), std::string::npos);
+  EXPECT_NE(json.find("node2."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pg::putget
