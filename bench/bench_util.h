@@ -5,8 +5,10 @@
 // is whitespace-aligned for humans and trivially machine-parsable.
 //
 // Benches also accept two optional observability flags:
-//   --trace=FILE   write a Chrome trace-event JSON (open in Perfetto)
+//   --trace=FILE   write a Chrome trace-event JSON (open in Perfetto),
+//                  including message-lifecycle flow arrows
 //   --json=FILE    write every emitted table plus the metrics snapshot
+//                  and the per-stage message-lifecycle breakdowns
 // Wrap main's body in a Session; with neither flag given the sinks stay
 // detached and the stdout table output is byte-identical to a build
 // without observability.
@@ -19,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flow.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -146,6 +149,8 @@ class Session {
     if (!trace_path_.empty() || !json_path_.empty()) {
       metrics_ = new obs::MetricsRegistry();
       obs::attach_metrics(metrics_);
+      flows_ = new obs::FlowTable();
+      obs::attach_flows(flows_);
     }
   }
 
@@ -182,6 +187,15 @@ class Session {
         } else {
           std::fputs("{}", f);
         }
+        // Per-stage message-lifecycle breakdowns (one group per unit).
+        std::fputs(",\"lifecycle\":", f);
+        if (flows_) {
+          std::string s = flows_->snapshot_json();
+          while (!s.empty() && s.back() == '\n') s.pop_back();
+          std::fputs(s.c_str(), f);
+        } else {
+          std::fputs("{\"flows\":[]}", f);
+        }
         // Host wall-clock for the whole run: the cheap always-on signal
         // that the simulator itself has not regressed.
         const double wall_ms =
@@ -199,6 +213,10 @@ class Session {
     if (metrics_) {
       obs::attach_metrics(nullptr);
       delete metrics_;
+    }
+    if (flows_) {
+      obs::attach_flows(nullptr);
+      delete flows_;
     }
   }
 
@@ -221,6 +239,7 @@ class Session {
   std::string json_path_;
   obs::TraceRecorder* recorder_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlowTable* flows_ = nullptr;
   std::vector<std::pair<std::string, SeriesTable>> tables_;
 };
 

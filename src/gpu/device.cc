@@ -6,6 +6,7 @@
 
 #include "common/bitops.h"
 #include "common/log.h"
+#include "obs/flow.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -275,6 +276,20 @@ void Gpu::store_backed(WarpExec& w, Addr addr, unsigned width,
 // ---------------------------------------------------------------------------
 // Memory instruction execution.
 
+bool Gpu::flow_poll_detect(mem::Addr addr, unsigned width) {
+  // Producers park lifecycles under either the polled word's base
+  // address (notification slots, CQE valid words) or the last written
+  // payload byte (tag polls load the tail, so base + width - 1).
+  obs::FlowId flow = obs::flow_pop(obs::flow_key(&fabric_, addr));
+  if (flow == 0) {
+    flow = obs::flow_pop(obs::flow_key(&fabric_, addr + width - 1));
+  }
+  if (flow == 0) return false;
+  obs::flow_stage(flow, name_.c_str(), "poll_detect", sim_.now());
+  obs::flow_end(flow, name_.c_str(), sim_.now());
+  return true;
+}
+
 bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
                     SimDuration& dt) {
   using LaneAccess = WarpExec::LaneAccess;
@@ -373,6 +388,14 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
           w->state.set_reg(la.lane, in.rd, load_backed(*w, la.addr, in.width));
         }
       }
+      // The sample above reflects every write landed by now, so if a
+      // lifecycle is parked under a polled lane this is the load that
+      // detected it.
+      if (obs::flows() != nullptr) {
+        for (const auto& la : lns) {
+          if (flow_poll_detect(la.addr, in.width)) break;
+        }
+      }
       w->state.set_pc(w->state.pc() + 1);
       run_warp(w);
     });
@@ -404,12 +427,18 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
       for (const auto& la : w->scratch) {
         sysmem_read(
             la.addr, in.width,
-            [this, w, lane = la.lane, &in,
+            [this, w, lane = la.lane, addr = la.addr, &in,
              pending](std::vector<std::uint8_t> data) {
               std::uint64_t v = 0;
               std::memcpy(&v, data.data(),
                           std::min<std::size_t>(8, data.size()));
               w->state.set_reg(lane, in.rd, sign_extend_none(v, in.width));
+              // PCIe-read polling (the paper's direct mode): this
+              // completion samples host memory, so it detects any
+              // lifecycle parked under the polled address.
+              if (obs::flows() != nullptr) {
+                (void)flow_poll_detect(addr, in.width);
+              }
               if (--*pending == 0) {
                 w->state.set_pc(w->state.pc() + 1);
                 run_warp(w);

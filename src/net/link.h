@@ -15,6 +15,7 @@
 
 #include "common/bitops.h"
 #include "common/units.h"
+#include "obs/flow.h"
 #include "sim/simulation.h"
 
 namespace pg::net {
@@ -38,8 +39,11 @@ class NetworkLink {
   }
 
   /// Sends a frame from `side` to the opposite side. Frames from one side
-  /// are delivered in order.
-  void send(int side, std::vector<std::uint8_t> frame) {
+  /// are delivered in order. `flow`, when nonzero, annotates the wire
+  /// hop of that message lifecycle; it rides next to the frame, never
+  /// inside it, so the wire timing is byte-identical either way.
+  void send(int side, std::vector<std::uint8_t> frame,
+            obs::FlowId flow = 0) {
     Direction& dir = sides_[side].tx;
     const std::uint64_t packets =
         std::max<std::uint64_t>(1, div_ceil(frame.size(), cfg_.mtu));
@@ -49,6 +53,12 @@ class NetworkLink {
     dir.busy_until = start + cfg_.bandwidth.transfer_time(wire_bytes);
     dir.bytes += frame.size();
     ++dir.frames;
+    if (flow != 0) {
+      // The frame's flow crosses nodes here: hand it to the receiver's
+      // pop via the (link, sender-side) channel.
+      obs::flow_push(obs::flow_key(this, static_cast<std::uint64_t>(side)),
+                     flow);
+    }
     const int other = 1 - side;
     sim_.schedule_at(dir.busy_until + cfg_.latency,
                      [this, other, frame = std::move(frame)]() mutable {

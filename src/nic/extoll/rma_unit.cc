@@ -189,6 +189,13 @@ void ExtollNic::post_work_request(const WorkRequest& wr) {
   }
   port.gated = true;
   port.wr_posted_at = sim_.now();
+  // The poster queued this WR's lifecycle under the port's requester
+  // page (host drivers push before their MMIO writes; GPU-built WRs are
+  // minted at the first staging write). Accepting the WR ends the post
+  // stage. Direct callers that queued nothing leave flow == 0.
+  port.flow = obs::flow_pop(obs::flow_key(
+      &fabric_, AddressMap::kExtollBarBase + wr.port * kRequesterPageSize));
+  obs::flow_stage(port.flow, name_.c_str(), "post", sim_.now());
   if (obs::metrics()) {
     obs::count(wr.cmd == RmaCmd::kPut ? "extoll.puts_posted"
                                       : "extoll.gets_posted");
@@ -242,6 +249,7 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
     WorkRequest wr;
     Addr src;
     Route route;
+    obs::FlowId flow = 0;
     std::uint64_t issued = 0;  // bytes whose DMA pull has been started
     std::function<void()> step;
   };
@@ -249,6 +257,7 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
   job->wr = wr;
   job->src = src_addr;
   job->route = route_for(wr.dst_node);
+  job->flow = ports_[wr.port].flow;
   job->step = [this, job] {
     const std::uint64_t offset = job->issued;
     const std::uint64_t remaining = job->wr.size - offset;
@@ -280,13 +289,18 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
                 f.last = last;
                 f.payload = std::move(data);
                 assert(job->route.link && "EXTOLL NIC not connected");
-                job->route.link->send(job->route.side, f.encode());
+                // The last segment carries the lifecycle across the
+                // wire; requester_finished (same instant) closes the
+                // nic_fetch stage, so wire begins exactly here.
+                job->route.link->send(job->route.side, f.encode(),
+                                      last ? job->flow : 0);
                 if (last) {
                   requester_finished(job->wr);
                   job->step = nullptr;  // break the cycle
                 }
               });
-        });
+        },
+        offset == 0 ? job->flow : 0);
   };
   job->step();
 }
@@ -302,13 +316,16 @@ void ExtollNic::execute_get(const WorkRequest& wr) {
   f.last = true;
   const Route route = route_for(wr.dst_node);
   assert(route.link && "EXTOLL NIC not connected");
-  route.link->send(route.side, f.encode());
+  route.link->send(route.side, f.encode(), ports_[wr.port].flow);
   requester_finished(wr);
 }
 
 void ExtollNic::requester_finished(const WorkRequest& wr) {
   PortState& port = ports_[wr.port];
   port.gated = false;  // the requester page can take the next WR
+  // Decode + payload pull + datapath drain: the NIC is done touching
+  // this message locally (its wire/remote stages continue elsewhere).
+  obs::flow_stage(port.flow, name_.c_str(), "nic_fetch", sim_.now());
   if (obs::metrics()) {
     obs::observe("extoll.wr_requester_ns",
                  static_cast<std::uint64_t>(
@@ -340,20 +357,29 @@ void ExtollNic::on_frame(net::NetworkLink* link, int side,
     PG_ERROR("extoll", "%s: undecodable frame", name_.c_str());
     return;
   }
+  // The last data-bearing frame of a message carries its lifecycle:
+  // the sender queued it under (link, sender side), and delivery is
+  // FIFO per direction, so this pop pairs with exactly that send.
+  obs::FlowId flow = 0;
+  if (frame->last) {
+    flow = obs::flow_pop(
+        obs::flow_key(link, static_cast<std::uint64_t>(1 - side)));
+    obs::flow_stage(flow, "net", "wire", sim_.now());
+  }
   switch (frame->kind) {
     case Frame::Kind::kPutSegment:
-      handle_put_segment(*frame);
+      handle_put_segment(*frame, flow);
       break;
     case Frame::Kind::kGetRequest:
-      handle_get_request(*frame, link, side);
+      handle_get_request(*frame, link, side, flow);
       break;
     case Frame::Kind::kGetResponse:
-      handle_get_response(*frame);
+      handle_get_response(*frame, flow);
       break;
   }
 }
 
-void ExtollNic::handle_put_segment(const Frame& f) {
+void ExtollNic::handle_put_segment(const Frame& f, obs::FlowId flow) {
   auto dst = atu_.translate(f.dst_nla + f.offset, f.payload.size(),
                             mem::Access::kWrite);
   if (!dst.is_ok()) {
@@ -369,11 +395,15 @@ void ExtollNic::handle_put_segment(const Frame& f) {
   // Move the payload out of the frame before the DMA write so the
   // completion callback carries only frame metadata, not another copy of
   // the data.
-  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() mutable {
+  sim_.schedule_at(completer_busy_until_, [this, f, flow, seg,
+                                           dst = *dst]() mutable {
     std::vector<std::uint8_t> payload = std::move(f.payload);
-    dma_->write(dst, std::move(payload), [this, f = std::move(f)] {
+    const std::uint32_t len = seg;
+    dma_->write(dst, std::move(payload), [this, f = std::move(f), flow, dst,
+                                          len] {
       if (!f.last) return;
       ++puts_completed_;
+      obs::flow_stage(flow, name_.c_str(), "remote_dma", sim_.now());
       if (obs::metrics()) obs::count("extoll.puts_completed");
       if (obs::enabled()) {
         obs::instant(name_.c_str(), "rma", "put-complete", sim_.now(),
@@ -387,14 +417,19 @@ void ExtollNic::handle_put_segment(const Frame& f) {
         n.size = f.total_size;
         n.seq = ++port.cmp_seq;
         n.nla = f.dst_nla;
-        write_notification(port, port.cmp_queue, n);
+        write_notification(port, port.cmp_queue, n, flow);
+      } else if (flow != 0) {
+        // No notification: the consumer detects arrival by polling the
+        // payload's final bytes, so park the lifecycle under the last
+        // written address for the poll loop to claim.
+        obs::flow_push(obs::flow_key(&fabric_, dst + len - 1), flow);
       }
-    });
+    }, flow);
   });
 }
 
 void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
-                                   int side) {
+                                   int side, obs::FlowId flow) {
   auto src =
       atu_.translate(f.src_nla, f.total_size, mem::Access::kRead);
   if (!src.is_ok()) {
@@ -408,6 +443,7 @@ void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
     Frame req;
     Addr src;
     Route route;
+    obs::FlowId flow = 0;
     std::uint64_t sent = 0;
     std::function<void()> step;
   };
@@ -415,6 +451,7 @@ void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
   job->req = f;
   job->src = *src;
   job->route = Route{link, side};
+  job->flow = flow;
   job->step = [this, job] {
     const std::uint64_t offset = job->sent;
     const std::uint64_t remaining = job->req.total_size - offset;
@@ -445,15 +482,24 @@ void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
                 resp.notify_completer = job->req.notify_completer;
                 resp.last = last;
                 resp.payload = std::move(data);
-                job->route.link->send(job->route.side, resp.encode());
+                if (last) {
+                  // The responder's pull + push is the remote half of
+                  // the get's fetch work; the response's wire leg
+                  // accumulates into the same "wire" stage.
+                  obs::flow_stage(job->flow, name_.c_str(), "nic_fetch",
+                                  sim_.now());
+                }
+                job->route.link->send(job->route.side, resp.encode(),
+                                      last ? job->flow : 0);
                 if (last) job->step = nullptr;
               });
-        });
+        },
+        offset == 0 ? job->flow : 0);
   };
   job->step();
 }
 
-void ExtollNic::handle_get_response(const Frame& f) {
+void ExtollNic::handle_get_response(const Frame& f, obs::FlowId flow) {
   auto dst = atu_.translate(f.dst_nla + f.offset, f.payload.size(),
                             mem::Access::kWrite);
   if (!dst.is_ok()) {
@@ -466,11 +512,15 @@ void ExtollNic::handle_get_response(const Frame& f) {
   const SimTime start = std::max(sim_.now(), completer_busy_until_);
   completer_busy_until_ = start + core_cycles(cfg_.completer_cycles) +
                           core_rate().transfer_time(seg);
-  sim_.schedule_at(completer_busy_until_, [this, f, dst = *dst]() mutable {
+  sim_.schedule_at(completer_busy_until_, [this, f, flow, seg,
+                                           dst = *dst]() mutable {
     std::vector<std::uint8_t> payload = std::move(f.payload);
-    dma_->write(dst, std::move(payload), [this, f = std::move(f)] {
+    const std::uint32_t len = seg;
+    dma_->write(dst, std::move(payload), [this, f = std::move(f), flow, dst,
+                                          len] {
       if (!f.last) return;
       ++gets_completed_;
+      obs::flow_stage(flow, name_.c_str(), "remote_dma", sim_.now());
       if (obs::metrics()) obs::count("extoll.gets_completed");
       if (obs::enabled()) {
         obs::instant(name_.c_str(), "rma", "get-complete", sim_.now(),
@@ -484,9 +534,11 @@ void ExtollNic::handle_get_response(const Frame& f) {
         n.size = f.total_size;
         n.seq = ++port.cmp_seq;
         n.nla = f.dst_nla;
-        write_notification(port, port.cmp_queue, n);
+        write_notification(port, port.cmp_queue, n, flow);
+      } else if (flow != 0) {
+        obs::flow_push(obs::flow_key(&fabric_, dst + len - 1), flow);
       }
-    });
+    }, flow);
   });
 }
 
@@ -494,7 +546,7 @@ void ExtollNic::handle_get_response(const Frame& f) {
 // Notifications.
 
 void ExtollNic::write_notification(PortState& port, NotifQueue& queue,
-                                   const Notification& n) {
+                                   const Notification& n, obs::FlowId flow) {
   // The NIC sees read-pointer updates as MMIO writes from the consumer;
   // modelled as a zero-time peek of the pointer cell.
   const std::uint32_t rp = memory_.read_u32(queue.rp_addr);
@@ -516,12 +568,17 @@ void ExtollNic::write_notification(PortState& port, NotifQueue& queue,
   // When a sink is attached, ride the delivery callback to mark the moment
   // the notification lands in host memory (the consumer's poll target).
   std::function<void()> on_delivered;
-  if (obs::enabled() || obs::metrics()) {
+  if (obs::enabled() || obs::metrics() || flow != 0) {
     const bool requester = n.unit == NotifyUnit::kRequester;
     const SimTime t_posted = port.wr_posted_at;
     const std::uint8_t nport = n.port;
     const std::uint32_t nsize = n.size;
-    on_delivered = [this, requester, t_posted, nport, nsize] {
+    on_delivered = [this, requester, t_posted, nport, nsize, flow, slot] {
+      // The notification slot just landed: close notify_write and park
+      // the lifecycle under the slot address for whichever consumer
+      // (host spin loop or GPU kernel) polls it.
+      obs::flow_stage(flow, name_.c_str(), "notify_write", sim_.now());
+      obs::flow_push(obs::flow_key(&fabric_, slot), flow);
       if (obs::metrics()) {
         obs::count("extoll.notifications");
         if (requester) {
@@ -570,6 +627,16 @@ void ExtollNic::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
   std::uint64_t value = 0;
   std::memcpy(&value, data.data(), 8);
   const unsigned word = static_cast<unsigned>(word_off / 8);
+  if (word == 0) {
+    // First staging word of a WR. Host drivers queued the lifecycle
+    // before their MMIO writes; a GPU-built WR announces itself here,
+    // so mint its flow now - the post stage then covers the BAR write
+    // serialization the device actually pays.
+    if (obs::FlowTable* ft = obs::flows()) {
+      const std::uint64_t key = obs::flow_key(&fabric_, addr - word_off);
+      if (ft->channel_depth(key) == 0) ft->push(key, ft->begin(sim_.now()));
+    }
+  }
   port.staging[word] = value;
   port.staged_mask |= static_cast<std::uint8_t>(1u << word);
   if (word_off == kWrWord2Offset) {

@@ -30,6 +30,7 @@
 #include "mem/allocator.h"
 #include "mem/memory_domain.h"
 #include "net/link.h"
+#include "obs/flow.h"
 #include "nic/extoll/atu.h"
 #include "nic/extoll/rma_types.h"
 #include "pcie/dma.h"
@@ -140,6 +141,7 @@ class ExtollNic : public pcie::Endpoint {
     std::uint16_t req_seq = 0;
     std::uint16_t cmp_seq = 0;
     SimTime wr_posted_at = 0;  // accept time of the in-flight WR (obs span)
+    obs::FlowId flow = 0;      // lifecycle of the in-flight WR (one per port)
     NotifQueue req_queue;
     NotifQueue cmp_queue;
   };
@@ -184,16 +186,19 @@ class ExtollNic : public pcie::Endpoint {
   void requester_finished(const WorkRequest& wr);
   void on_frame(net::NetworkLink* link, int side,
                 std::vector<std::uint8_t> bytes);
-  void handle_put_segment(const Frame& f);
+  void handle_put_segment(const Frame& f, obs::FlowId flow);
   /// Get responses stream back over the link the request arrived on.
-  void handle_get_request(const Frame& f, net::NetworkLink* link, int side);
-  void handle_get_response(const Frame& f);
+  void handle_get_request(const Frame& f, net::NetworkLink* link, int side,
+                          obs::FlowId flow);
+  void handle_get_response(const Frame& f, obs::FlowId flow);
 
   /// DMA-writes a notification into `queue` (posted; ordered behind the
   /// payload because callers invoke it from the payload's delivery
-  /// callback).
+  /// callback). `flow`, when nonzero, is the message lifecycle this
+  /// notification completes: its notify_write stage is stamped when the
+  /// slot write lands, and the flow is queued for the slot's poller.
   void write_notification(PortState& port, NotifQueue& queue,
-                          const Notification& n);
+                          const Notification& n, obs::FlowId flow = 0);
 
   sim::Simulation& sim_;
   pcie::Fabric& fabric_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/flow.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -95,16 +96,17 @@ void Hca::connect(net::NetworkLink* link, int side) {
     link_ = link;
     link_side_ = side;
   }
-  link->attach(side, [this](std::vector<std::uint8_t> bytes) {
-    on_frame(std::move(bytes));
+  link->attach(side, [this, link, side](std::vector<std::uint8_t> bytes) {
+    on_frame(link, side, std::move(bytes));
   });
 }
 
-void Hca::link_send(const Qp& qp, std::vector<std::uint8_t> bytes) {
+void Hca::link_send(const Qp& qp, std::vector<std::uint8_t> bytes,
+                    obs::FlowId flow) {
   net::NetworkLink* link = qp.route_link ? qp.route_link : link_;
   const int side = qp.route_link ? qp.route_side : link_side_;
   assert(link && "HCA not connected");
-  link->send(side, std::move(bytes));
+  link->send(side, std::move(bytes), flow);
 }
 
 SimTime Hca::occupy_engine(SimDuration service) {
@@ -209,6 +211,13 @@ void Hca::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
     qp.rq_tail = value;
     return;
   }
+  // GPU-posted WQEs have no host-side announcement: start their message
+  // lifecycle when the doorbell lands. Host-posted WQEs queued a flow at
+  // post time, so their channel is non-empty and nothing is minted.
+  if (obs::FlowTable* ft = obs::flows()) {
+    const std::uint64_t key = obs::flow_key(&fabric_, sq_doorbell_addr(qpn));
+    if (ft->channel_depth(key) == 0) ft->push(key, ft->begin(sim_.now()));
+  }
   qp.sq_tail = value;
   kick_sq(qpn);
 }
@@ -239,10 +248,20 @@ void Hca::sq_step(std::uint32_t qpn) {
   const Addr slot =
       qp.info.sq_buffer + (qp.sq_head % qp.info.sq_entries) * kSendWqeBytes;
   const SimTime t_fetch = sim_.now();
+  // The message lifecycle opened at post time waits on this QP's doorbell
+  // channel; picking it up here closes the post stage. WQEs the host
+  // driver never announced (e.g. GPU-posted rings) start their lifecycle
+  // at the fetch instead, with an empty post stage.
+  obs::FlowId flow =
+      obs::flow_pop(obs::flow_key(&fabric_, sq_doorbell_addr(qpn)));
+  if (flow == 0) {
+    if (obs::FlowTable* ft = obs::flows()) flow = ft->begin(t_fetch);
+  }
+  obs::flow_stage(flow, name_.c_str(), "post", t_fetch);
   // Fetch the WQE across PCIe (host memory, or the P2P path when the ring
   // lives in GPU memory).
   dma_->read(slot, kSendWqeBytes,
-             [this, qpn, slot, t_fetch](std::vector<std::uint8_t> bytes) {
+             [this, qpn, slot, t_fetch, flow](std::vector<std::uint8_t> bytes) {
                Qp& qp = qps_[qpn];
                if (obs::metrics()) {
                  obs::count("ib.wqe_fetches");
@@ -263,15 +282,18 @@ void Hca::sq_step(std::uint32_t qpn) {
                }
                const SendWqe wqe = decode_send_wqe(bytes.data());
                const SimTime ready = occupy_engine(cfg_.wqe_process);
-               sim_.schedule_at(ready, [this, qpn, wqe] {
+               sim_.schedule_at(ready, [this, qpn, wqe, flow] {
                  Qp& qp = qps_[qpn];
                  ++qp.sq_head;
-                 execute_wqe(qpn, wqe, [this, qpn] { sq_step(qpn); });
+                 obs::flow_stage(flow, name_.c_str(), "nic_fetch",
+                                 sim_.now());
+                 execute_wqe(qpn, wqe, flow, [this, qpn] { sq_step(qpn); });
                });
-             });
+             },
+             flow);
 }
 
-void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
+void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe, obs::FlowId flow,
                       std::function<void()> done) {
   Qp& qp = qps_[qpn];
   const std::uint32_t psn = qp.next_psn++;
@@ -309,7 +331,7 @@ void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
                                    : (wqe.opcode == WqeOpcode::kRdmaWriteImm
                                           ? Frame::Kind::kWriteImm
                                           : Frame::Kind::kSend);
-      stream_message(qpn, kind, wqe, src, psn, std::move(done));
+      stream_message(qpn, kind, wqe, src, psn, flow, std::move(done));
       return;
     }
     case WqeOpcode::kRdmaRead: {
@@ -329,7 +351,7 @@ void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
       f.psn = psn;
       f.raddr = wqe.raddr;
       f.rkey = wqe.rkey;
-      link_send(qp, f.encode());
+      link_send(qp, f.encode(), flow);
       done();
       return;
     }
@@ -341,7 +363,7 @@ void Hca::execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
 
 void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
                          const SendWqe& wqe, Addr src, std::uint32_t psn,
-                         std::function<void()> done) {
+                         obs::FlowId flow, std::function<void()> done) {
   Qp& qp = qps_[qpn];
   // Zero-length messages (e.g. write-with-immediate used purely for
   // synchronization) are a single header-only frame.
@@ -355,7 +377,7 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
     f.psn = psn;
     f.raddr = wqe.raddr;
     f.rkey = wqe.rkey;
-    link_send(qp, f.encode());
+    link_send(qp, f.encode(), flow);
     done();
     return;
   }
@@ -367,6 +389,7 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
     std::uint32_t psn;
     std::uint32_t dst_qpn;
     std::uint64_t sent = 0;
+    obs::FlowId flow = 0;
     std::function<void()> done;
     std::function<void()> step;
   };
@@ -377,6 +400,7 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
   job->src = src;
   job->psn = psn;
   job->dst_qpn = qp.remote_qpn;
+  job->flow = flow;
   job->done = std::move(done);
   job->step = [this, job] {
     const std::uint64_t offset = job->sent;
@@ -400,13 +424,15 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
                  f.rkey = job->wqe.rkey;
                  f.last = last;
                  f.payload = std::move(data);
-                 link_send(qps_[job->qpn], f.encode());
+                 link_send(qps_[job->qpn], f.encode(),
+                           last ? job->flow : 0);
                  if (last) {
                    auto done = std::move(job->done);
                    job->step = nullptr;
                    done();
                  }
-               });
+               },
+               offset == 0 ? job->flow : 0);
   };
   job->step();
 }
@@ -414,7 +440,8 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
 // ---------------------------------------------------------------------------
 // Receive side.
 
-void Hca::on_frame(std::vector<std::uint8_t> bytes) {
+void Hca::on_frame(net::NetworkLink* link, int side,
+                   std::vector<std::uint8_t> bytes) {
   auto frame = Frame::decode(bytes);
   if (!frame.is_ok()) {
     PG_ERROR("ib", "%s: undecodable frame", name_.c_str());
@@ -425,21 +452,31 @@ void Hca::on_frame(std::vector<std::uint8_t> bytes) {
             frame->dst_qpn);
     return;
   }
+  // The sender queued the message lifecycle on its side of this link when
+  // it sent the last data-bearing frame; pick it up here and close the
+  // wire stage. ACK/NAK frames never carry a lifecycle.
+  obs::FlowId flow = 0;
+  if (frame->last && frame->kind != Frame::Kind::kAck &&
+      frame->kind != Frame::Kind::kNak) {
+    flow = obs::flow_pop(
+        obs::flow_key(link, static_cast<std::uint64_t>(1 - side)));
+    obs::flow_stage(flow, "net", "wire", sim_.now());
+  }
   switch (frame->kind) {
     case Frame::Kind::kWrite:
-      handle_write_segment(*frame, /*with_imm=*/false);
+      handle_write_segment(*frame, /*with_imm=*/false, flow);
       break;
     case Frame::Kind::kWriteImm:
-      handle_write_segment(*frame, /*with_imm=*/true);
+      handle_write_segment(*frame, /*with_imm=*/true, flow);
       break;
     case Frame::Kind::kSend:
-      handle_send_segment(*frame);
+      handle_send_segment(*frame, flow);
       break;
     case Frame::Kind::kReadReq:
-      handle_read_request(*frame);
+      handle_read_request(*frame, flow);
       break;
     case Frame::Kind::kReadResp:
-      handle_read_response(*frame);
+      handle_read_response(*frame, flow);
       break;
     case Frame::Kind::kAck:
       handle_ack(*frame, /*nak=*/false);
@@ -450,15 +487,17 @@ void Hca::on_frame(std::vector<std::uint8_t> bytes) {
   }
 }
 
-void Hca::handle_write_segment(const Frame& f, bool with_imm) {
+void Hca::handle_write_segment(const Frame& f, bool with_imm,
+                               obs::FlowId flow) {
   Qp& qp = qps_[f.dst_qpn];
-  auto deliver_tail = [this, f, with_imm, &qp] {
+  auto deliver_tail = [this, f, with_imm, flow, &qp] {
     if (!f.last) return;
     ++messages_delivered_;
+    obs::flow_stage(flow, name_.c_str(), "remote_dma", sim_.now());
     if (with_imm) {
       // Write-with-immediate consumes a receive WQE (whose address may be
       // unused) and produces a receive completion carrying the immediate.
-      fetch_recv_wqe(qp, [this, f, &qp](Result<RecvWqe> recv) {
+      fetch_recv_wqe(qp, [this, f, flow, &qp](Result<RecvWqe> recv) {
         if (!recv.is_ok()) {
           ++rnr_errors_;
           send_nak(f.dst_qpn, f.psn, WcStatus::kRnrError);
@@ -467,10 +506,17 @@ void Hca::handle_write_segment(const Frame& f, bool with_imm) {
         write_cqe(qp.info.recv_cq,
                   Cqe{recv->wr_id, qp.info.qpn, f.total,
                       WqeOpcode::kRdmaWriteImm, WcStatus::kSuccess, true,
-                      f.imm});
+                      f.imm},
+                  flow);
         send_ack(f.dst_qpn, f.psn);
       });
     } else {
+      // Plain writes raise no completion at the target: a device-side
+      // poller detects arrival by spinning on the payload's tail bytes,
+      // so the lifecycle waits on the last written byte's channel.
+      if (flow != 0 && f.total > 0) {
+        obs::flow_push(obs::flow_key(&fabric_, f.raddr + f.total - 1), flow);
+      }
       send_ack(f.dst_qpn, f.psn);
     }
   };
@@ -487,10 +533,10 @@ void Hca::handle_write_segment(const Frame& f, bool with_imm) {
     return;
   }
   dma_->write(f.raddr + f.offset, f.payload,
-              [deliver_tail] { deliver_tail(); });
+              [deliver_tail] { deliver_tail(); }, f.last ? flow : 0);
 }
 
-void Hca::handle_send_segment(const Frame& f) {
+void Hca::handle_send_segment(const Frame& f, obs::FlowId flow) {
   Qp& qp = qps_[f.dst_qpn];
   if (qp.dropping && qp.dropping_psn == f.psn) {
     if (f.last) qp.dropping = false;
@@ -498,7 +544,7 @@ void Hca::handle_send_segment(const Frame& f) {
   }
   if (f.offset == 0 && !qp.recv_active) {
     // First segment: consume a receive WQE, then deliver.
-    fetch_recv_wqe(qp, [this, f, &qp](Result<RecvWqe> recv) {
+    fetch_recv_wqe(qp, [this, f, flow, &qp](Result<RecvWqe> recv) {
       if (!recv.is_ok()) {
         ++rnr_errors_;
         qp.dropping = !f.last;
@@ -515,7 +561,7 @@ void Hca::handle_send_segment(const Frame& f) {
       }
       qp.recv_active = true;
       qp.active_recv = *recv;
-      deliver_send_payload(f);
+      deliver_send_payload(f, flow);
     });
     return;  // delivery continues from the RQ-fetch callback
   }
@@ -523,19 +569,21 @@ void Hca::handle_send_segment(const Frame& f) {
     // Segments beyond the first of a message we failed to match.
     return;
   }
-  deliver_send_payload(f);
+  deliver_send_payload(f, flow);
 }
 
-void Hca::deliver_send_payload(const Frame& f) {
+void Hca::deliver_send_payload(const Frame& f, obs::FlowId flow) {
   Qp& qp = qps_[f.dst_qpn];
   const RecvWqe recv = qp.active_recv;
-  auto finish = [this, f, &qp, recv] {
+  auto finish = [this, f, flow, &qp, recv] {
     if (!f.last) return;
     qp.recv_active = false;
     ++messages_delivered_;
+    obs::flow_stage(flow, name_.c_str(), "remote_dma", sim_.now());
     write_cqe(qp.info.recv_cq,
               Cqe{recv.wr_id, qp.info.qpn, f.total, WqeOpcode::kSend,
-                  WcStatus::kSuccess, true, f.imm});
+                  WcStatus::kSuccess, true, f.imm},
+              flow);
     send_ack(f.dst_qpn, f.psn);
   };
   if (f.payload.empty()) {
@@ -550,10 +598,11 @@ void Hca::deliver_send_payload(const Frame& f) {
     if (f.last) send_nak(f.dst_qpn, f.psn, WcStatus::kProtectionError);
     return;
   }
-  dma_->write(recv.addr + f.offset, f.payload, [finish] { finish(); });
+  dma_->write(recv.addr + f.offset, f.payload, [finish] { finish(); },
+              f.last ? flow : 0);
 }
 
-void Hca::handle_read_request(const Frame& f) {
+void Hca::handle_read_request(const Frame& f, obs::FlowId flow) {
   Qp& qp = qps_[f.dst_qpn];
   auto check =
       mr_table_.check(f.rkey, f.raddr, f.total, mem::Access::kRead);
@@ -567,11 +616,13 @@ void Hca::handle_read_request(const Frame& f) {
     Frame req;
     std::uint32_t origin_qpn;
     std::uint64_t sent = 0;
+    obs::FlowId flow = 0;
     std::function<void()> step;
   };
   auto job = std::make_shared<Job>();
   job->req = f;
   job->origin_qpn = qp.remote_qpn;
+  job->flow = flow;
   job->step = [this, job] {
     const std::uint64_t offset = job->sent;
     const std::uint64_t remaining = job->req.total - offset;
@@ -590,14 +641,22 @@ void Hca::handle_read_request(const Frame& f) {
                  resp.offset = offset;
                  resp.last = last;
                  resp.payload = std::move(data);
-                 link_send(qps_[job->req.dst_qpn], resp.encode());
+                 if (last) {
+                   // Responder-side source fetch accumulates into the
+                   // lifecycle's nic_fetch stage.
+                   obs::flow_stage(job->flow, name_.c_str(), "nic_fetch",
+                                   sim_.now());
+                 }
+                 link_send(qps_[job->req.dst_qpn], resp.encode(),
+                           last ? job->flow : 0);
                  if (last) job->step = nullptr;
-               });
+               },
+               offset == 0 ? job->flow : 0);
   };
   job->step();
 }
 
-void Hca::handle_read_response(const Frame& f) {
+void Hca::handle_read_response(const Frame& f, obs::FlowId flow) {
   Qp& qp = qps_[f.dst_qpn];
   auto it = qp.pending_reads.find(f.psn);
   if (it == qp.pending_reads.end()) {
@@ -606,16 +665,21 @@ void Hca::handle_read_response(const Frame& f) {
     return;
   }
   const PendingRead pending = it->second;
-  dma_->write(pending.laddr + f.offset, f.payload, [this, f, &qp, pending] {
-    if (!f.last) return;
-    qp.pending_reads.erase(f.psn);
-    ++messages_delivered_;
-    if (pending.signaled) {
-      write_cqe(qp.info.send_cq,
-                Cqe{pending.wr_id, qp.info.qpn, pending.byte_len,
-                    WqeOpcode::kRdmaRead, WcStatus::kSuccess, false, 0});
-    }
-  });
+  dma_->write(
+      pending.laddr + f.offset, f.payload,
+      [this, f, flow, &qp, pending] {
+        if (!f.last) return;
+        qp.pending_reads.erase(f.psn);
+        ++messages_delivered_;
+        obs::flow_stage(flow, name_.c_str(), "remote_dma", sim_.now());
+        if (pending.signaled) {
+          write_cqe(qp.info.send_cq,
+                    Cqe{pending.wr_id, qp.info.qpn, pending.byte_len,
+                        WqeOpcode::kRdmaRead, WcStatus::kSuccess, false, 0},
+                    flow);
+        }
+      },
+      f.last ? flow : 0);
 }
 
 void Hca::handle_ack(const Frame& f, bool nak) {
@@ -651,9 +715,16 @@ void Hca::complete_local(std::uint32_t qpn, const PendingAck& pending,
   }
   // Errors always complete; successes only when signaled.
   if (pending.signaled || status != WcStatus::kSuccess) {
+    // The send completion is its own short lifecycle leg: it begins when
+    // the ACK retires the WR and ends when the application's CQ poll
+    // observes the CQE. For device-driven queues that poll rides PCIe -
+    // the poll_cq cost the paper's Table II singles out.
+    const obs::FlowId cflow =
+        status == WcStatus::kSuccess ? obs::flow_begin(sim_.now()) : 0;
     write_cqe(qp.info.send_cq,
               Cqe{pending.wr_id, qpn, pending.byte_len, pending.opcode,
-                  status, false, 0});
+                  status, false, 0},
+              cflow);
   }
 }
 
@@ -697,7 +768,7 @@ void Hca::fetch_recv_wqe(Qp& qp, std::function<void(Result<RecvWqe>)> cb) {
 // ---------------------------------------------------------------------------
 // Completions.
 
-void Hca::write_cqe(std::uint32_t cq_id, const Cqe& cqe) {
+void Hca::write_cqe(std::uint32_t cq_id, const Cqe& cqe, obs::FlowId flow) {
   assert(cq_id < cqs_.size() && cqs_[cq_id].used);
   Cq& cq = cqs_[cq_id];
   const std::uint32_t ci = memory_.read_u32(cq.info.ci_addr);
@@ -717,8 +788,18 @@ void Hca::write_cqe(std::uint32_t cq_id, const Cqe& cqe) {
                   {"opcode", opcode_name(cqe.opcode)},
                   {"ok", cqe.status == WcStatus::kSuccess}});
   }
+  std::function<void()> on_delivered;
+  if (flow != 0) {
+    // The poller spins on the CQE's valid word; queue the lifecycle on
+    // that address once the slot write lands.
+    on_delivered = [this, flow, slot] {
+      obs::flow_stage(flow, name_.c_str(), "notify_write", sim_.now());
+      obs::flow_push(obs::flow_key(&fabric_, slot + kCqeValidOffset), flow);
+    };
+  }
   fabric_.write(endpoint_id_, slot,
-                std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+                std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+                std::move(on_delivered));
 }
 
 }  // namespace pg::ib

@@ -30,6 +30,7 @@
 #include "mem/registration.h"
 #include "net/link.h"
 #include "nic/ib/wqe.h"
+#include "obs/flow.h"
 #include "pcie/dma.h"
 #include "pcie/fabric.h"
 #include "sim/simulation.h"
@@ -201,25 +202,31 @@ class Hca : public pcie::Endpoint {
 
   void kick_sq(std::uint32_t qpn);
   void sq_step(std::uint32_t qpn);
-  void execute_wqe(std::uint32_t qpn, const SendWqe& wqe,
+  void execute_wqe(std::uint32_t qpn, const SendWqe& wqe, obs::FlowId flow,
                    std::function<void()> done);
   void stream_message(std::uint32_t qpn, Frame::Kind kind, const SendWqe& wqe,
-                      mem::Addr src, std::uint32_t psn,
+                      mem::Addr src, std::uint32_t psn, obs::FlowId flow,
                       std::function<void()> done);
-  void on_frame(std::vector<std::uint8_t> bytes);
-  void handle_write_segment(const Frame& f, bool with_imm);
-  void handle_send_segment(const Frame& f);
-  void deliver_send_payload(const Frame& f);
-  void handle_read_request(const Frame& f);
-  void handle_read_response(const Frame& f);
+  void on_frame(net::NetworkLink* link, int side,
+                std::vector<std::uint8_t> bytes);
+  void handle_write_segment(const Frame& f, bool with_imm, obs::FlowId flow);
+  void handle_send_segment(const Frame& f, obs::FlowId flow);
+  void deliver_send_payload(const Frame& f, obs::FlowId flow);
+  void handle_read_request(const Frame& f, obs::FlowId flow);
+  void handle_read_response(const Frame& f, obs::FlowId flow);
   void handle_ack(const Frame& f, bool nak);
   void send_ack(std::uint32_t origin_qpn, std::uint32_t psn);
   void send_nak(std::uint32_t origin_qpn, std::uint32_t psn, WcStatus status);
   void fetch_recv_wqe(Qp& qp, std::function<void(Result<RecvWqe>)> cb);
   /// Sends a frame through the QP's route, or the default link when the
-  /// QP has none.
-  void link_send(const Qp& qp, std::vector<std::uint8_t> bytes);
-  void write_cqe(std::uint32_t cq_id, const Cqe& cqe);
+  /// QP has none. `flow`, when nonzero, rides with the frame for wire
+  /// correlation at the receiver (only last frames of a message carry it).
+  void link_send(const Qp& qp, std::vector<std::uint8_t> bytes,
+                 obs::FlowId flow = 0);
+  /// `flow`, when nonzero, is the message lifecycle this completion
+  /// closes: its notify_write stage is stamped when the CQE slot write
+  /// lands, and the flow is queued for the slot's poller.
+  void write_cqe(std::uint32_t cq_id, const Cqe& cqe, obs::FlowId flow = 0);
   void complete_local(std::uint32_t qpn, const PendingAck& pending,
                       WcStatus status);
 

@@ -1,0 +1,186 @@
+// Message lifecycle tracking: per-message flow ids with named stage
+// decomposition.
+//
+// A FlowId is minted when a put/get/ping-pong message is posted and
+// carried - out of band, never inside encoded frames or descriptors -
+// through the host driver, the NIC pipelines, the wire and the remote
+// poll loop. Each layer stamps a named *stage* against the sim clock;
+// stages use chain-edge semantics: every stage covers [cursor, end]
+// where `cursor` is the previous stage's end, so the per-flow stage
+// durations sum to the end-to-end latency exactly, by construction,
+// even when the underlying hardware pipelines segments.
+//
+// Where a flow cannot ride a function argument (it crosses the wire, or
+// lands in memory that a poll loop later reads), the producer pushes it
+// into a *correlation channel* - a FIFO keyed by a (component, address)
+// pair - and the consumer pops it. Channels exploit the simulator's
+// determinism: per key, pushes and pops happen in the same order on
+// both sides. Keys are namespaced by a component pointer (usually the
+// node's pcie::Fabric) because every node maps the identical address
+// layout.
+//
+// Aggregation: per experiment unit (one bench run of one configuration)
+// the table keeps a LatencyBreakdown - log2 histograms of each stage
+// and of the end-to-end latency, in nanoseconds - exported as
+// deterministic JSON with p50/p95/p99.
+//
+// Like the trace recorder, the flow table is a passive, explicitly
+// attached global sink: model code pays one predictable branch when it
+// is detached, never schedules events, and cannot perturb simulated
+// results.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pg::obs {
+
+/// Identifies one in-flight message. 0 means "no flow" and makes every
+/// helper a no-op, so untracked paths need no guards.
+using FlowId = std::uint64_t;
+
+/// Correlation-channel key for address `addr` as seen by the component
+/// `ns` (namespace pointer - typically the node's pcie::Fabric, because
+/// nodes map identical address layouts). Mixed so that nearby addresses
+/// spread over the hash table; never serialized, so the pointer value
+/// is safe to fold in.
+inline std::uint64_t flow_key(const void* ns, std::uint64_t addr) {
+  std::uint64_t x =
+      reinterpret_cast<std::uintptr_t>(ns) ^ (addr * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class FlowTable {
+ public:
+  /// Per-stage latency histogram, in first-stamped order.
+  struct StageStats {
+    std::string name;
+    Log2Histogram ns;
+  };
+
+  /// The latency breakdown of one experiment unit.
+  struct Breakdown {
+    std::string label;
+    Log2Histogram e2e_ns;            // flow begin -> flow end
+    std::vector<StageStats> stages;  // chain-edge stages, sum == e2e
+    std::uint64_t completed = 0;     // flows that reached end()
+    std::uint64_t abandoned = 0;     // flows still open at unit end
+  };
+
+  FlowTable();
+
+  // -- lifecycle ----------------------------------------------------------
+
+  /// Mints a new flow whose clock starts at `at`. Ids are unique for
+  /// the table's lifetime (and therefore unique per unit).
+  FlowId begin(SimTime at);
+
+  /// Stamps stage `name` ending at `end` on `track`: the stage covers
+  /// [previous stage end, end]. Repeated names accumulate. When a trace
+  /// recorder is attached this also emits the stage span and the
+  /// Chrome flow event ('s' first, then 't') that draws the arrow.
+  void stage(FlowId id, const char* track, const char* name, SimTime end);
+
+  /// Ends the flow at `at`, recording the end-to-end latency. Emits the
+  /// terminating Chrome flow event ('f', binding to the enclosing
+  /// slice) when a recorder is attached.
+  void end(FlowId id, const char* track, SimTime at);
+
+  /// Trace-only waypoint: adds an arrow node on `track` at `at` without
+  /// stamping a stage (the PCIe/DMA hops inside a stage use this). Only
+  /// meaningful with a recorder attached; never touches the breakdown.
+  void step(FlowId id, const char* track, SimTime at);
+
+  // -- correlation channels -----------------------------------------------
+
+  void push(std::uint64_t key, FlowId id);
+  /// Pops the oldest flow pushed under `key`, or 0 if none.
+  FlowId pop(std::uint64_t key);
+  /// Flows queued under `key` (mint-on-first-write decisions).
+  std::size_t channel_depth(std::uint64_t key) const;
+
+  // -- units --------------------------------------------------------------
+
+  /// Starts a new experiment unit: drops every open flow and channel
+  /// (each unit restarts its simulation at t=0, so carrying stale
+  /// correlation state across would mis-pair), and opens a fresh
+  /// breakdown. Unit 0 ("sim") exists implicitly.
+  void begin_unit(std::string label);
+
+  // -- results ------------------------------------------------------------
+
+  const std::vector<Breakdown>& breakdowns() const { return groups_; }
+  /// Latest breakdown with this label, or nullptr.
+  const Breakdown* find(std::string_view label) const;
+  std::size_t open_flows() const { return open_.size(); }
+
+  /// Deterministic JSON: every non-empty unit's per-stage and e2e
+  /// histograms with count/sum/min/max/p50/p95/p99.
+  std::string snapshot_json() const;
+
+ private:
+  struct OpenFlow {
+    SimTime begin;
+    SimTime cursor;        // end of the last stamped stage
+    bool announced=false;  // 's' flow event emitted
+  };
+
+  std::unordered_map<FlowId, OpenFlow> open_;
+  std::unordered_map<std::uint64_t, std::deque<FlowId>> channels_;
+  std::vector<Breakdown> groups_;
+  std::size_t cur_ = 0;
+  FlowId next_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Global sink plus no-op-when-detached instrumentation helpers.
+
+/// The attached flow table, or nullptr when lifecycle tracking is off.
+FlowTable* flows();
+/// Attaches `table` (nullptr to detach). Not thread-safe by design.
+void attach_flows(FlowTable* table);
+
+inline FlowId flow_begin(SimTime at) {
+  FlowTable* f = flows();
+  return f != nullptr ? f->begin(at) : 0;
+}
+
+inline void flow_stage(FlowId id, const char* track, const char* name,
+                       SimTime end) {
+  if (id == 0) return;
+  if (FlowTable* f = flows()) f->stage(id, track, name, end);
+}
+
+inline void flow_end(FlowId id, const char* track, SimTime at) {
+  if (id == 0) return;
+  if (FlowTable* f = flows()) f->end(id, track, at);
+}
+
+inline void flow_push(std::uint64_t key, FlowId id) {
+  if (id == 0) return;
+  if (FlowTable* f = flows()) f->push(key, id);
+}
+
+inline FlowId flow_pop(std::uint64_t key) {
+  FlowTable* f = flows();
+  return f != nullptr ? f->pop(key) : 0;
+}
+
+inline void flow_step(FlowId id, const char* track, SimTime at) {
+  if (id == 0) return;
+  if (FlowTable* f = flows()) f->step(id, track, at);
+}
+
+}  // namespace pg::obs

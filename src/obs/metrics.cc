@@ -68,6 +68,8 @@ std::string MetricsRegistry::snapshot_json() const {
     out += json_u64(h.percentile(0.50));
     out += ",\"p90\":";
     out += json_u64(h.percentile(0.90));
+    out += ",\"p95\":";
+    out += json_u64(h.percentile(0.95));
     out += ",\"p99\":";
     out += json_u64(h.percentile(0.99));
     out += ",\"buckets\":{";

@@ -72,6 +72,11 @@ void TraceRecorder::instant(TrackId track, const char* category,
                render_args(args)});
 }
 
+void TraceRecorder::flow_event(TrackId track, char phase, std::uint64_t id,
+                               SimTime at) {
+  record(Event{current_unit_, track, phase, "flow", "msg", at, 0, "", id});
+}
+
 std::string TraceRecorder::to_json() const {
   std::string out;
   out.reserve(events_.size() * 128 + 4096);
@@ -101,7 +106,10 @@ std::string TraceRecorder::to_json() const {
       m += "}}";
       emit(m);
     }
-    if (unit_used) {
+    // Explicitly begun units keep their name even when they recorded no
+    // events, so an empty unit still shows up (correctly named) in the
+    // viewer instead of silently vanishing from the metadata.
+    if (unit_used || unit > 0) {
       std::string m = "{\"ph\":\"M\",\"pid\":";
       m += json_u64(unit);
       m += ",\"name\":\"process_name\",\"args\":{\"name\":";
@@ -126,8 +134,12 @@ std::string TraceRecorder::to_json() const {
     if (e.phase == 'X') {
       ev += ",\"dur\":";
       ev += render_us(e.dur);
-    } else {
+    } else if (e.phase == 'i') {
       ev += ",\"s\":\"t\"";  // instant scope: thread
+    } else {
+      ev += ",\"id\":";
+      ev += json_u64(e.flow_id);
+      if (e.phase == 'f') ev += ",\"bp\":\"e\"";  // bind to enclosing slice
     }
     ev += ",\"args\":{";
     ev += e.args;

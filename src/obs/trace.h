@@ -76,6 +76,12 @@ class TraceRecorder {
   void instant(TrackId track, const char* category, std::string name,
                SimTime at, std::initializer_list<Arg> args = {});
 
+  /// Records a Chrome flow event: `phase` is 's' (start), 't' (step) or
+  /// 'f' (finish). Events sharing `id` are linked with arrows across
+  /// tracks; each binds to the slice enclosing `at` on `track` ('f'
+  /// uses the enclosing-slice binding point). Category is "flow".
+  void flow_event(TrackId track, char phase, std::uint64_t id, SimTime at);
+
   std::size_t event_count() const { return events_.size(); }
 
   /// Serializes the whole trace as Chrome trace-event JSON.
@@ -86,12 +92,13 @@ class TraceRecorder {
   struct Event {
     std::uint32_t unit;
     TrackId track;
-    char phase;  // 'X' or 'i'
+    char phase;  // 'X', 'i', or flow 's'/'t'/'f'
     const char* category;
     std::string name;
     SimTime ts;        // picoseconds
     SimDuration dur;   // picoseconds, spans only
     std::string args;  // rendered JSON object body ("k":v,...), may be empty
+    std::uint64_t flow_id = 0;  // flow events only
   };
 
   static std::string render_args(std::initializer_list<Arg> args);

@@ -11,13 +11,15 @@
 namespace pg::pcie {
 
 void DmaEngine::read(mem::Addr addr, std::uint64_t len,
-                     std::function<void(std::vector<std::uint8_t>)> on_done) {
+                     std::function<void(std::vector<std::uint8_t>)> on_done,
+                     obs::FlowId flow) {
   assert(len > 0);
   auto job = std::make_shared<ReadJob>();
   job->base = addr;
   job->length = len;
   job->buffer.resize(len);
   job->t_start = sim_.now();
+  job->flow = flow;
   job->on_done = std::move(on_done);
   pump_reads(job);
 }
@@ -46,9 +48,19 @@ void DmaEngine::pump_reads(const std::shared_ptr<ReadJob>& job) {
                                         to_ns(sim_.now() - job->t_start)));
                      }
                      if (obs::enabled()) {
-                       obs::span("pcie.dma", "dma", "dma-read", job->t_start,
-                                 sim_.now(),
-                                 {{"addr", job->base}, {"len", job->length}});
+                       if (job->flow != 0) {
+                         obs::span("pcie.dma", "dma", "dma-read",
+                                   job->t_start, sim_.now(),
+                                   {{"addr", job->base},
+                                    {"len", job->length},
+                                    {"flow", job->flow}});
+                       } else {
+                         obs::span("pcie.dma", "dma", "dma-read",
+                                   job->t_start, sim_.now(),
+                                   {{"addr", job->base},
+                                    {"len", job->length}});
+                       }
+                       obs::flow_step(job->flow, "pcie.dma", sim_.now());
                      }
                      job->on_done(std::move(job->buffer));
                      return;
@@ -59,9 +71,21 @@ void DmaEngine::pump_reads(const std::shared_ptr<ReadJob>& job) {
 }
 
 void DmaEngine::write(mem::Addr addr, std::vector<std::uint8_t> data,
-                      std::function<void()> on_done) {
+                      std::function<void()> on_done, obs::FlowId flow) {
   assert(!data.empty());
   const std::uint64_t total = data.size();
+  if (flow != 0 && obs::enabled()) {
+    // Trace-only: draw the flow's DMA hop as a span over the whole
+    // scatter, completing when the last byte lands. Wrapping the
+    // callback adds no simulation events, so timing is unchanged.
+    on_done = [this, addr, total, flow, inner = std::move(on_done),
+               t0 = sim_.now()] {
+      obs::span("pcie.dma", "dma", "dma-write", t0, sim_.now(),
+                {{"addr", addr}, {"len", total}, {"flow", flow}});
+      obs::flow_step(flow, "pcie.dma", sim_.now());
+      if (inner) inner();
+    };
+  }
   // Single-chunk payloads (the message-rate workload: tiny puts) move
   // straight into the fabric - no shared-buffer machinery.
   if (total <= cfg_.write_chunk_size) {

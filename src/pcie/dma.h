@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/address_map.h"
+#include "obs/flow.h"
 #include "pcie/fabric.h"
 #include "sim/simulation.h"
 
@@ -31,14 +32,17 @@ class DmaEngine {
       : sim_(sim), fabric_(fabric), self_(self), cfg_(cfg) {}
 
   /// Gathers [addr, addr+len) and hands the assembled buffer to `on_done`
-  /// once the final completion arrives.
+  /// once the final completion arrives. A nonzero `flow` annotates the
+  /// completed transfer with that message lifecycle (trace-only).
   void read(mem::Addr addr, std::uint64_t len,
-            std::function<void(std::vector<std::uint8_t>)> on_done);
+            std::function<void(std::vector<std::uint8_t>)> on_done,
+            obs::FlowId flow = 0);
 
   /// Scatters `data` to [addr, addr+size); `on_done` runs when the last
   /// byte has landed (posted writes, so this is target-arrival time).
+  /// A nonzero `flow` annotates the transfer (trace-only).
   void write(mem::Addr addr, std::vector<std::uint8_t> data,
-             std::function<void()> on_done);
+             std::function<void()> on_done, obs::FlowId flow = 0);
 
   std::uint64_t reads_issued() const { return reads_issued_; }
   std::uint64_t writes_issued() const { return writes_issued_; }
@@ -52,6 +56,7 @@ class DmaEngine {
     std::uint64_t outstanding = 0;   // requests in flight
     std::uint64_t received = 0;      // bytes completed
     SimTime t_start = 0;             // issue time (observability span)
+    obs::FlowId flow = 0;            // lifecycle annotation, trace-only
     std::function<void(std::vector<std::uint8_t>)> on_done;
   };
 

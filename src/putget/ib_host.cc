@@ -1,5 +1,7 @@
 #include "putget/ib_host.h"
 
+#include "obs/flow.h"
+
 namespace pg::putget {
 
 Result<IbHostEndpoint> IbHostEndpoint::create(sys::Node& node,
@@ -40,6 +42,11 @@ void IbHostEndpoint::write_ring_slot(host::HostCpu& cpu, mem::Addr slot,
 sim::SimTask IbHostEndpoint::post_send(host::HostCpu& cpu, ib::SendWqe wqe,
                                        sim::Trigger* posted) {
   wqe.index = sq_pi_;
+  // Open this message's lifecycle before the WQE build; the HCA pops it
+  // (keyed by this QP's doorbell) when it fetches the WQE, closing the
+  // post stage.
+  obs::flow_push(obs::flow_key(&cpu.fabric(), qp_.sq_doorbell),
+                 obs::flow_begin(cpu.sim().now()));
   // Building the WQE (field packing + endian conversion) is cheap on the
   // CPU: one descriptor-build charge.
   co_await cpu.build_descriptor();
@@ -69,7 +76,13 @@ sim::SimTask IbHostEndpoint::wait_cqe(host::HostCpu& cpu, ib::Cqe* out,
   co_await cpu.poll_until(
       [this, &cpu] { return cq_reader_.pending(cpu); });
   co_await cpu.touch_dram();
+  const mem::Addr valid = cq_reader_.current_slot() + ib::kCqeValidOffset;
   const ib::Cqe cqe = cq_reader_.consume(cpu);
+  // The poll loop just observed this CQE's valid marker; if it carried
+  // a message lifecycle (receive-side completions do), it ends here.
+  const obs::FlowId flow = obs::flow_pop(obs::flow_key(&cpu.fabric(), valid));
+  obs::flow_stage(flow, "host", "poll_detect", cpu.sim().now());
+  obs::flow_end(flow, "host", cpu.sim().now());
   if (out) *out = cqe;
   if (done) done->fire();
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flow.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
@@ -22,6 +23,9 @@ class OpSpan {
   OpSpan(sim::Simulation& sim, std::string label)
       : sim_(sim), label_(std::move(label)) {
     obs::begin_unit(label_);
+    // The flow table's units follow the trace units: a new run means a
+    // fresh correlation namespace and a fresh latency breakdown.
+    if (obs::FlowTable* f = obs::flows()) f->begin_unit(label_);
   }
 
   OpSpan(const OpSpan&) = delete;

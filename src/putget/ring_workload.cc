@@ -7,6 +7,8 @@
 #include "gpu/assembler.h"
 #include "putget/extoll_host.h"
 #include "putget/ib_host.h"
+#include "putget/modes.h"
+#include "putget/op_span.h"
 #include "sim/coro.h"
 
 namespace pg::putget {
@@ -267,6 +269,9 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
   const int n = cluster.num_nodes();
   out.num_nodes = n;
   const std::uint64_t field_bytes = (cells + 2) * 8;
+  OpSpan op(cluster.sim(),
+            op_label("ring-halo", ring_backend_name(ring.backend),
+                     field_bytes));
 
   // Double-buffered field per GPU.
   std::vector<NodeField> fields(n);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flow.h"
 #include "putget/device_lib.h"
 #include "putget/extoll_host.h"
 #include "putget/ib_host.h"
@@ -19,8 +20,13 @@ using ib::WqeOpcode;
 using mem::Addr;
 
 /// Inline host-side post (the coroutine body of ExtollHostPort::post,
-/// usable inside larger protocol coroutines).
+/// usable inside larger protocol coroutines). Opens the message
+/// lifecycle under the port's requester page before the CPU touches the
+/// descriptor; the NIC claims it when it accepts the WR.
 #define PG_HOST_POST(cpu, port_info, wr)                                    \
+  obs::flow_push(                                                          \
+      obs::flow_key(&(cpu).fabric(), (port_info).requester_page),          \
+      obs::flow_begin((cpu).sim().now()));                                 \
   co_await (cpu).build_descriptor();                                       \
   co_await (cpu).mmio_write_u64((port_info).requester_page +               \
                                     extoll::kWrWord0Offset,                \
@@ -30,12 +36,26 @@ using mem::Addr;
   co_await (cpu).mmio_write_u64(                                           \
       (port_info).requester_page + extoll::kWrWord2Offset, (wr).dst_nla)
 
-/// Inline host-side notification wait+consume.
-#define PG_HOST_WAIT_NOTIF(cpu, reader)                                \
+/// Inline host-side notification wait+consume. `ends_flow` is true for
+/// completer notifications, which close a message lifecycle at the spin
+/// loop; requester notifications are local signals whose slot channel is
+/// merely drained so it can never alias a later flow.
+#define PG_HOST_WAIT_NOTIF(cpu, reader, ends_flow)                     \
   co_await (cpu).poll_until(                                           \
       [rd = &(reader), c = &(cpu)] { return rd->pending(*c); });       \
   co_await (cpu).touch_dram();                                         \
-  (void)(reader).consume(cpu)
+  {                                                                    \
+    const Addr pg_slot = (reader).current_slot();                      \
+    (void)(reader).consume(cpu);                                       \
+    const obs::FlowId pg_flow =                                        \
+        obs::flow_pop(obs::flow_key(&(cpu).fabric(), pg_slot));        \
+    if (ends_flow) {                                                   \
+      obs::flow_stage(pg_flow, "host", "poll_detect",                  \
+                      (cpu).sim().now());                              \
+      obs::flow_end(pg_flow, "host", (cpu).sim().now());               \
+    }                                                                  \
+  }                                                                    \
+  static_assert(true, "")
 
 }  // namespace
 
@@ -155,12 +175,12 @@ sim::CoTask ExtollTransport::post(std::uint32_t c, int side, std::uint64_t) {
 
 sim::CoTask ExtollTransport::wait_tx(std::uint32_t c, int side) {
   host::HostCpu& hc = cpu(side);
-  PG_HOST_WAIT_NOTIF(hc, port(c, side).requester_notifications());
+  PG_HOST_WAIT_NOTIF(hc, port(c, side).requester_notifications(), false);
 }
 
 sim::CoTask ExtollTransport::wait_rx(std::uint32_t c, int side) {
   host::HostCpu& hc = cpu(side);
-  PG_HOST_WAIT_NOTIF(hc, port(c, side).completer_notifications());
+  PG_HOST_WAIT_NOTIF(hc, port(c, side).completer_notifications(), true);
 }
 
 bool ExtollTransport::tx_pending(std::uint32_t c) {
@@ -447,6 +467,10 @@ sim::CoTask IbTransport::prepost_rx(std::uint32_t c, int side,
 sim::CoTask IbTransport::post(std::uint32_t c, int side, std::uint64_t seq) {
   host::HostCpu& hc = cpu(side);
   IbHostEndpoint& e = ep(c, side);
+  // Open the message lifecycle before the WQE build; the HCA claims it
+  // (keyed by this QP's doorbell) when it fetches the WQE.
+  obs::flow_push(obs::flow_key(&hc.fabric(), e.qp().sq_doorbell),
+                 obs::flow_begin(hc.sim().now()));
   co_await hc.build_descriptor();
   SendWqe w = side == 0 ? conns_[c].wqe0 : conns_[c].wqe1;
   w.wr_id = seq;
@@ -465,7 +489,13 @@ sim::CoTask IbTransport::wait_tx(std::uint32_t c, int side) {
   IbHostEndpoint& e = ep(c, side);
   co_await hc.poll_until([&] { return e.cq().pending(hc); });
   co_await hc.touch_dram();
+  const Addr valid = e.cq().current_slot() + ib::kCqeValidOffset;
   (void)e.cq().consume(hc);
+  // Signaled send completions carry their own lifecycle leg (opened when
+  // the ACK retired the WR); the poll that observed the CQE ends it.
+  const obs::FlowId flow = obs::flow_pop(obs::flow_key(&hc.fabric(), valid));
+  obs::flow_stage(flow, "host", "poll_detect", hc.sim().now());
+  obs::flow_end(flow, "host", hc.sim().now());
 }
 
 sim::CoTask IbTransport::wait_rx(std::uint32_t c, int side) {
@@ -475,7 +505,14 @@ sim::CoTask IbTransport::wait_rx(std::uint32_t c, int side) {
   for (;;) {
     co_await hc.poll_until([&] { return e.cq().pending(hc); });
     co_await hc.touch_dram();
+    const Addr valid = e.cq().current_slot() + ib::kCqeValidOffset;
     const ib::Cqe cqe = e.cq().consume(hc);
+    // Whatever produced this CQE - the awaited message or a send
+    // completion drained in passing - this poll is what observed it.
+    const obs::FlowId flow =
+        obs::flow_pop(obs::flow_key(&hc.fabric(), valid));
+    obs::flow_stage(flow, "host", "poll_detect", hc.sim().now());
+    obs::flow_end(flow, "host", hc.sim().now());
     if (cqe.is_recv) break;
   }
 }
@@ -485,7 +522,15 @@ bool IbTransport::tx_pending(std::uint32_t c) {
 }
 
 void IbTransport::consume_tx(std::uint32_t c) {
-  (void)ep(c, 0).cq().consume(cpu(0));
+  IbHostEndpoint& e = ep(c, 0);
+  // Consuming the CQE ends the completion's lifecycle leg (and clears
+  // the slot's channel so ring-entry reuse can never alias a later flow).
+  const Addr valid = e.cq().current_slot() + ib::kCqeValidOffset;
+  (void)e.cq().consume(cpu(0));
+  const obs::FlowId flow =
+      obs::flow_pop(obs::flow_key(&cpu(0).fabric(), valid));
+  obs::flow_stage(flow, "host", "poll_detect", cpu(0).sim().now());
+  obs::flow_end(flow, "host", cpu(0).sim().now());
 }
 
 sim::CoTask IbTransport::rate_post(std::uint32_t c, std::uint64_t seq) {
