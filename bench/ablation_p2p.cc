@@ -13,6 +13,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "ablation-p2p",
+                                   {"p2p model ON", "p2p model OFF"})) {
+    return 0;
+  }
   pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::TransferMode;

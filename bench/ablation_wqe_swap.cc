@@ -73,6 +73,10 @@ std::uint64_t count_post_instructions(bool preswap) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "ablation-wqe-swap",
+                                   {"instructions"})) {
+    return 0;
+  }
   using namespace pg;
   bench::Session session(argc, argv);
   bench::print_title("Ablation - WQE endian-conversion strategy",

@@ -28,6 +28,22 @@
 
 namespace pg::bench {
 
+/// Standard `--list` support: when argv contains --list, prints the
+/// bench's table name plus the series/modes it produces (one per
+/// indented line, machine-parsable) and returns true — main should then
+/// exit 0 without running anything. Call before constructing Session.
+inline bool handle_list_flag(int argc, char** argv, const std::string& bench,
+                             const std::vector<std::string>& series) {
+  bool found = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) found = true;
+  }
+  if (!found) return false;
+  std::printf("%s\n", bench.c_str());
+  for (const std::string& s : series) std::printf("  %s\n", s.c_str());
+  return true;
+}
+
 inline void print_title(const std::string& title, const std::string& note) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
@@ -135,10 +151,12 @@ class Session {
         trace_path_ = a + 8;
       } else if (std::strncmp(a, "--json=", 7) == 0) {
         json_path_ = a + 7;
+      } else if (std::strcmp(a, "--list") == 0) {
+        // Handled by handle_list_flag before the Session exists.
       } else {
         std::fprintf(stderr,
-                     "unknown argument '%s' (expected --trace=FILE or "
-                     "--json=FILE)\n",
+                     "unknown argument '%s' (expected --list, --trace=FILE "
+                     "or --json=FILE)\n",
                      a);
       }
     }

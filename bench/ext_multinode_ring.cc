@@ -13,6 +13,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "ext-multinode-ring",
+                                   {"extoll[us/iter]", "ib[us/iter]", "extoll msgs", "ib msgs"})) {
+    return 0;
+  }
   pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::RingBackend;

@@ -18,6 +18,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "extension-future-api",
+                                   {"half RTT [us]", "posting sum [us]"})) {
+    return 0;
+  }
   using namespace pg;
   using putget::QueueLocation;
   using putget::TransferMode;

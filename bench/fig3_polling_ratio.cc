@@ -13,6 +13,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "fig3-polling-ratio",
+                                   {"system memory", "device memory"})) {
+    return 0;
+  }
   pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::TransferMode;

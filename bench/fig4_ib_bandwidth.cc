@@ -10,6 +10,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "fig4b-ib-bandwidth",
+                                   {"dev2dev-bufOnGPU", "dev2dev-bufOnHost", "dev2dev-assisted", "dev2dev-hostControlled"})) {
+    return 0;
+  }
   pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::QueueLocation;

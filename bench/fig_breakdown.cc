@@ -159,6 +159,10 @@ bool attribute_gap(const char* fabric, std::uint32_t size,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "fig-breakdown",
+                                   {"breakdown-extoll-<size>B", "breakdown-ib-<size>B"})) {
+    return 0;
+  }
   pg::bench::Session session(argc, argv);
   using namespace pg;
   using putget::QueueLocation;

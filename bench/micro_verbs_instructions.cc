@@ -14,6 +14,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "micro-verbs-instructions",
+                                   {"bufOnGPU instr", "bufOnGPU mem", "bufOnHost instr", "bufOnHost mem"})) {
+    return 0;
+  }
   using namespace pg;
   bench::Session session(argc, argv);
   bench::print_title("Sec V-B.3 - device-side verbs instruction counts",

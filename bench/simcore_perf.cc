@@ -169,8 +169,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("simcore-perf\n");
+      for (const char* s : {"event queue", "interpreter", "sparse memory",
+                            "fig1 latency sweep", "fig2 msgrate sweep"}) {
+        std::printf("  %s\n", s);
+      }
+      return 0;
     } else {
-      std::fprintf(stderr, "usage: %s [--json=FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--list] [--json=FILE]\n", argv[0]);
       return 2;
     }
   }

@@ -13,6 +13,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "table1-extoll-counters",
+                                   {"system memory", "device memory", "paper sys", "paper dev"})) {
+    return 0;
+  }
   using namespace pg;
   using putget::TransferMode;
   bench::Session session(argc, argv);

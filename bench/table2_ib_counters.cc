@@ -12,6 +12,10 @@
 #include "sys/testbed.h"
 
 int main(int argc, char** argv) {
+  if (pg::bench::handle_list_flag(argc, argv, "table2-ib-counters",
+                                   {"buffer on host", "buffer on GPU", "paper host", "paper gpu"})) {
+    return 0;
+  }
   using namespace pg;
   using putget::QueueLocation;
   using putget::TransferMode;

@@ -9,7 +9,10 @@
 // pair) deterministic.
 #pragma once
 
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace pg::net {
 
@@ -21,12 +24,17 @@ enum class Topology {
   /// themselves are bidirectional, so this is the standard ring. n = 2
   /// degenerates to a doubly-linked pair.
   kRing,
+  /// One link for every unordered pair (i, j), i < j — every node reaches
+  /// every other node directly. The shape all-to-all workloads (GUPS,
+  /// halo exchange on a process grid) want.
+  kFullMesh,
 };
 
 inline const char* topology_name(Topology t) {
   switch (t) {
     case Topology::kPair: return "pair";
     case Topology::kRing: return "ring";
+    case Topology::kFullMesh: return "full-mesh";
   }
   return "?";
 }
@@ -48,8 +56,52 @@ inline std::vector<LinkPlan> plan_links(Topology t, int num_nodes) {
         plan.push_back({i, (i + 1) % num_nodes});
       }
       break;
+    case Topology::kFullMesh:
+      for (int i = 0; i < num_nodes; ++i) {
+        for (int j = i + 1; j < num_nodes; ++j) plan.push_back({i, j});
+      }
+      break;
   }
   return plan;
+}
+
+/// Checks an explicit link list against `num_nodes`: endpoints must be
+/// in range, links must not be self-loops, and no ordered (a, b) pair
+/// may appear twice (a duplicate would silently shadow the first link's
+/// routes under the first-wins route fill). The reversed pair (b, a) is
+/// allowed — that is exactly the documented two-node ring, which wires
+/// (0,1) and (1,0) as two distinct physical links.
+inline Status validate_links(int num_nodes, const std::vector<LinkPlan>& plan) {
+  if (num_nodes < 2) {
+    return invalid_argument("wiring plan needs at least 2 nodes, got " +
+                            std::to_string(num_nodes));
+  }
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const LinkPlan& lp = plan[i];
+    if (lp.a < 0 || lp.a >= num_nodes || lp.b < 0 || lp.b >= num_nodes) {
+      return invalid_argument("link (" + std::to_string(lp.a) + "," +
+                              std::to_string(lp.b) +
+                              ") references a node outside [0," +
+                              std::to_string(num_nodes) + ")");
+    }
+    if (lp.a == lp.b) {
+      return invalid_argument("link (" + std::to_string(lp.a) + "," +
+                              std::to_string(lp.b) + ") is a self-loop");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (plan[j].a == lp.a && plan[j].b == lp.b) {
+        return invalid_argument("duplicate link (" + std::to_string(lp.a) +
+                                "," + std::to_string(lp.b) +
+                                ") in wiring plan");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+/// Validates the plan a (topology, num_nodes) pair generates.
+inline Status validate_plan(Topology t, int num_nodes) {
+  return validate_links(num_nodes, plan_links(t, num_nodes));
 }
 
 }  // namespace pg::net

@@ -649,6 +649,89 @@ Program build_ib_stream_kernel(const IbStreamConfig& cfg) {
 }
 
 // ---------------------------------------------------------------------------
+// Put-list kernels (the GPU-driven shmem path).
+
+Program build_extoll_putlist_kernel(const ExtollPutListConfig& cfg) {
+  Assembler a("extoll_putlist");
+  const Reg iter(8), bar(9), row(10), w0(11), src(12), dst(13);
+  const Reg req_base(14), req_idx(15), req_rp(16), stats(17), t(18);
+  const Reg s0(25), s1(26), s2(27);
+
+  a.movi(bar, static_cast<std::int64_t>(cfg.bar_page));
+  a.movi(row, static_cast<std::int64_t>(cfg.row_table));
+  a.movi(req_base, static_cast<std::int64_t>(cfg.req_queue_base));
+  a.movi(req_rp, static_cast<std::int64_t>(cfg.req_rp_cell));
+  a.movi(stats, static_cast<std::int64_t>(cfg.stats_addr));
+  a.movi(iter, 0);
+  a.ld(req_idx, req_rp, 0, 4);  // resume from the published read pointer
+
+  const DeviceNotifQueue req_q{req_base, req_idx, req_rp,
+                               cfg.queue_entry_mask};
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTStart, 8);
+
+  const std::string loop = a.fresh_label("putlist_loop");
+  a.bind(loop);
+  a.ld(w0, row, 0, 8);
+  a.ld(src, row, 8, 8);
+  a.ld(dst, row, 16, 8);
+  // Same sequence as emit_extoll_post_put, but word 0 comes from the row
+  // (it carries the per-put destination node), not from an immediate.
+  a.membar_sys();
+  a.st(bar, w0, extoll::kWrWord0Offset, 8);
+  a.st(bar, src, extoll::kWrWord1Offset, 8);
+  a.st(bar, dst, extoll::kWrWord2Offset, 8);
+  // One WR per port: wait out the requester notification.
+  emit_extoll_poll_consume_notification(a, req_q, s0, s1, s2);
+  a.addi(row, row, 32);
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.count);
+  a.bra_if(s0, loop);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTEnd, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+Program build_ib_putlist_kernel(const IbPutListConfig& cfg) {
+  Assembler a("ib_putlist");
+  const Reg iter(8), row(9), qpc(10), laddr(11), raddr(12), wr_id(13);
+  const Reg stats(14), status(16), t(17);
+  const Reg s0(23), s1(24), s2(25), s3(26), s4(27), s5(28);
+
+  a.mov(row, Reg(4));
+  a.mov(stats, Reg(5));
+  a.movi(iter, 0);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTStart, 8);
+
+  const IbPostSendRegs post_regs{qpc, laddr, raddr, wr_id};
+  const std::string loop = a.fresh_label("putlist_loop");
+  a.bind(loop);
+  a.ld(qpc, row, 0, 8);
+  a.ld(laddr, row, 8, 8);
+  a.ld(raddr, row, 16, 8);
+  a.mov(wr_id, iter);
+  emit_ib_post_send(a, post_regs, cfg.wqe, s0, s1, s2, s3, s4, s5);
+  // Every post is signaled; retiring the CQE before the next row keeps
+  // exactly one send outstanding per context (ACK = remote completion).
+  emit_ib_poll_cq(a, qpc, status, s0, s1, s2, s3, s4, s5);
+  a.addi(row, row, 32);
+  a.addi(iter, iter, 1);
+  a.setpi(Cmp::kLtU, s0, iter, cfg.count);
+  a.bra_if(s0, loop);
+
+  a.sreg(t, Sreg::kClock);
+  a.st(stats, t, kStatTEnd, 8);
+  a.st(stats, iter, kStatIterations, 8);
+  a.exit();
+  return must_finish(a);
+}
+
+// ---------------------------------------------------------------------------
 // Host-assisted kernel.
 
 Program build_assisted_loop_kernel(const AssistedLoopConfig& cfg) {

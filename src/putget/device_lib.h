@@ -225,6 +225,33 @@ struct IbStreamConfig {
 };
 gpu::Program build_ib_stream_kernel(const IbStreamConfig& cfg);
 
+/// EXTOLL put-list kernel (GPU-driven shmem put path): walks a
+/// device-memory table of fully encoded work requests and posts them
+/// through ONE port, waiting out the requester notification between
+/// posts. Unlike the stream kernel, word 0 is loaded per row, so every
+/// row can carry its own destination node, size and notify flags.
+struct ExtollPutListConfig {
+  std::uint32_t count = 0;
+  /// `count` rows of 32 bytes: [w0, src_nla, dst_nla, pad].
+  std::uint64_t row_table = 0;
+  std::uint64_t bar_page = 0;
+  std::uint64_t req_queue_base = 0, req_rp_cell = 0;
+  std::uint32_t queue_entry_mask = 0;
+  std::uint64_t stats_addr = 0;
+};
+gpu::Program build_extoll_putlist_kernel(const ExtollPutListConfig& cfg);
+
+/// IB put-list kernel (GPU-driven shmem put path): walks a device-memory
+/// table of [qp_context, laddr, raddr, pad] rows (32 bytes each; the
+/// per-row context is what lets one list target several peers), posting
+/// each as a signaled send and retiring its completion before moving on.
+/// Kernel parameters: r4 = row table base, r5 = stats block.
+struct IbPutListConfig {
+  std::uint32_t count = 0;
+  IbPostSendTemplate wqe;  // static fields shared by every row
+};
+gpu::Program build_ib_putlist_kernel(const IbPutListConfig& cfg);
+
 /// Assisted-mode kernel: raises a request flag in host memory and waits
 /// for the CPU's acknowledgement flag in device memory, per iteration.
 /// One block per connection; kernel parameter 0 is a device-memory

@@ -1,10 +1,29 @@
-// Reading device-side stats blocks after a kernel completes.
+// Reading device-side stats blocks after a kernel completes, plus the
+// small sample-statistics helpers the benches share.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "mem/memory_domain.h"
 #include "putget/device_lib.h"
 
 namespace pg::putget {
+
+/// Nearest-rank sample quantile (q in [0, 1], clamped). An empty series
+/// yields 0. Copies the input so callers keep their sample order.
+inline double sample_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: ceil(q * n), 1-based; q == 0 maps to the first sample.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
 
 struct DeviceStats {
   double t_start_ns = 0;

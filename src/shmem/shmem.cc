@@ -1,0 +1,309 @@
+#include "shmem/shmem.h"
+
+#include <set>
+#include <utility>
+
+#include "common/bitops.h"
+#include "putget/device_lib.h"
+#include "putget/setup.h"
+
+namespace pg::shmem {
+
+using putget::Completion;
+using putget::NotifyDomain;
+using putget::OpHandle;
+using putget::RmaBackend;
+using putget::WaitCmp;
+
+Result<std::unique_ptr<Shmem>> Shmem::create(sys::Cluster& cluster,
+                                             const ShmemOptions& options) {
+  if (options.heap_bytes == 0) {
+    return invalid_argument("shmem: heap_bytes must be > 0");
+  }
+  auto domain =
+      NotifyDomain::create(cluster, options.backend, options.notify);
+  if (!domain.is_ok()) return domain.status();
+
+  const std::uint64_t region_len = kHeapStartOff + options.heap_bytes;
+  std::vector<mem::Addr> bases;
+  bases.reserve(static_cast<std::size_t>(cluster.num_nodes()));
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    // GPU memory so device put plans can source payloads directly; the
+    // host CPU reaches it through the PCIe aperture as usual.
+    bases.push_back(cluster.node(i).gpu_heap().alloc(region_len, 4096));
+  }
+  Status reg = (*domain)->register_region(bases, region_len);
+  if (!reg.is_ok()) return reg;
+
+  return std::unique_ptr<Shmem>(
+      new Shmem(std::move(*domain), options.heap_bytes));
+}
+
+Result<SymOff> Shmem::shmem_malloc(std::uint64_t bytes, std::uint64_t align) {
+  if (bytes == 0) return invalid_argument("shmem_malloc: zero size");
+  if (!is_power_of_two(align)) {
+    return invalid_argument("shmem_malloc: alignment not a power of 2");
+  }
+  const SymOff off = align_up(heap_next_, align);
+  if (off + bytes > heap_end_) {
+    return resource_exhausted("shmem_malloc: symmetric heap exhausted");
+  }
+  heap_next_ = off + bytes;
+  return off;
+}
+
+std::uint64_t Shmem::peek_u64(int pe, SymOff off) const {
+  return domain_->cluster().node(pe).memory().read_u64(addr(pe, off));
+}
+
+void Shmem::poke_u64(int pe, SymOff off, std::uint64_t value) {
+  domain_->cluster().node(pe).memory().write_u64(addr(pe, off), value);
+}
+
+Result<OpHandle> Shmem::put_nbi(int from, int to, SymOff dst, SymOff src,
+                                std::uint32_t bytes, Completion completion) {
+  return domain_->post_put(from, to, addr(from, src), addr(to, dst), bytes,
+                           completion);
+}
+
+Status Shmem::put(int from, int to, SymOff dst, SymOff src,
+                  std::uint32_t bytes, Completion completion) {
+  auto op = put_nbi(from, to, dst, src, bytes, completion);
+  if (!op.is_ok()) return op.status();
+  if (!domain_->wait_local(*op)) {
+    return internal_error("shmem: put stalled (simulation ran dry)");
+  }
+  return Status::ok();
+}
+
+Status Shmem::get(int from, int to, SymOff local_dst, SymOff remote_src,
+                  std::uint32_t bytes) {
+  auto op = domain_->post_get(from, to, addr(from, local_dst),
+                              addr(to, remote_src), bytes);
+  if (!op.is_ok()) return op.status();
+  if (!domain_->wait_local(*op)) {
+    return internal_error("shmem: get stalled (simulation ran dry)");
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> Shmem::atomic_fetch_add(int from, int to, SymOff off,
+                                              std::uint64_t delta) {
+  if (off + 8 > heap_end_ && off < kHeapStartOff) {
+    return invalid_argument("atomic_fetch_add: bad offset");
+  }
+  // Fetch the current value.
+  Status s = get(from, to, kAmoLandingOff, off, 8);
+  if (!s.is_ok()) return s;
+  const std::uint64_t old = peek_u64(from, kAmoLandingOff);
+
+  // Write back old + delta with a payload-poll put (no arrival counter
+  // tick: an AMO is not a message the target application waits on).
+  poke_u64(from, kAmoStagingOff, old + delta);
+  s = put(from, to, off, kAmoStagingOff, 8, Completion::kPayloadPoll);
+  if (!s.is_ok()) return s;
+
+  if (domain_->backend() == RmaBackend::kIb) {
+    // RC ACK semantics: local send completion already implies the write
+    // reached the target.
+    return old;
+  }
+  // EXTOLL local completion only means the source buffer is reusable.
+  // Confirm remote visibility by reading the cell back until the new
+  // value shows up — the get response is ordered behind the put on the
+  // same link, so this terminates quickly.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    s = get(from, to, kAmoReadbackOff, off, 8);
+    if (!s.is_ok()) return s;
+    if (peek_u64(from, kAmoReadbackOff) == old + delta) return old;
+  }
+  return internal_error(
+      "atomic_fetch_add: remote update never became visible");
+}
+
+Status Shmem::quiet(int pe) { return domain_->quiet(pe); }
+
+Status Shmem::fence(int pe) { return quiet(pe); }
+
+bool Shmem::wait_until(int pe, SymOff off, WaitCmp cmp, std::uint64_t value) {
+  return domain_->wait_until_u64(pe, addr(pe, off), cmp, value);
+}
+
+Status Shmem::barrier_all() {
+  const int n = n_pes();
+  if (n > 64) {
+    return invalid_argument("barrier_all: more than 64 PEs");
+  }
+  const std::uint64_t gen = ++barrier_gen_;
+  std::uint32_t rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+
+  // Dissemination: in round k every PE signals (pe + 2^k) mod n and
+  // waits for the matching signal from (pe - 2^k) mod n. The slot value
+  // is the monotone generation number, so slots never need resetting
+  // and a late arrival from barrier g can never satisfy barrier g+1.
+  for (std::uint32_t k = 0; k < rounds; ++k) {
+    const SymOff slot = kBarrierSlotOff + k * 8;
+    std::vector<OpHandle> sent(static_cast<std::size_t>(n));
+    for (int pe = 0; pe < n; ++pe) {
+      poke_u64(pe, kBarrierStagingOff, gen);
+      const int peer = (pe + (1 << k)) % n;
+      auto op = put_nbi(pe, peer, slot, kBarrierStagingOff, 8,
+                        Completion::kPayloadPoll);
+      if (!op.is_ok()) return op.status();
+      sent[static_cast<std::size_t>(pe)] = *op;
+    }
+    for (int pe = 0; pe < n; ++pe) {
+      // Local completion first: the staging word is rewritten next
+      // round, so the NIC must have read it out by then.
+      if (!domain_->wait_local(sent[static_cast<std::size_t>(pe)]) ||
+          !wait_until(pe, slot, WaitCmp::kGe, gen)) {
+        return internal_error("barrier_all: simulation ran dry");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// GPU-driven plans.
+
+Result<Shmem::DevicePlan> Shmem::build_device_put_plan(
+    int pe, const std::vector<DeviceUpdate>& updates) {
+  if (pe < 0 || pe >= n_pes()) {
+    return out_of_range("device plan: bad pe");
+  }
+  if (updates.empty()) {
+    return invalid_argument("device plan: no updates");
+  }
+  for (const DeviceUpdate& u : updates) {
+    if (u.to < 0 || u.to >= n_pes() || u.to == pe) {
+      return invalid_argument("device plan: bad target pe");
+    }
+    if (u.dst + 8 > heap_end_ || u.src + 8 > heap_end_) {
+      return out_of_range("device plan: offset past region end");
+    }
+  }
+  return domain_->backend() == RmaBackend::kExtoll
+             ? build_extoll_plan(pe, updates)
+             : build_ib_plan(pe, updates);
+}
+
+Result<Shmem::DevicePlan> Shmem::build_extoll_plan(
+    int pe, const std::vector<DeviceUpdate>& ups) {
+  auto pi = domain_->device_port_info(pe);
+  if (!pi.is_ok()) return pi.status();
+  sys::Node& node = domain_->cluster().node(pe);
+
+  // One 32-byte row per update: [word0, src NLA, dst NLA, pad]. The
+  // kernel reads rows sequentially and posts one WR each, waiting for
+  // the requester notification between posts (one WR per port).
+  const mem::Addr rows = node.gpu_heap().alloc(ups.size() * 32, 64);
+  for (std::size_t i = 0; i < ups.size(); ++i) {
+    const DeviceUpdate& u = ups[i];
+    extoll::WorkRequest wr;
+    wr.cmd = extoll::RmaCmd::kPut;
+    wr.port = static_cast<std::uint8_t>(pi->port);
+    wr.size = 8;
+    wr.notify_requester = true;
+    wr.notify_completer = false;
+    wr.dst_node = u.to;
+    auto src_nla = domain_->nla(pe, addr(pe, u.src));
+    auto dst_nla = domain_->nla(u.to, addr(u.to, u.dst));
+    if (!src_nla.is_ok()) return src_nla.status();
+    if (!dst_nla.is_ok()) return dst_nla.status();
+    node.memory().write_u64(rows + i * 32 + 0, wr.encode_word0());
+    node.memory().write_u64(rows + i * 32 + 8, *src_nla);
+    node.memory().write_u64(rows + i * 32 + 16, *dst_nla);
+    node.memory().write_u64(rows + i * 32 + 24, 0);
+  }
+
+  DevicePlan plan;
+  plan.count = static_cast<std::uint32_t>(ups.size());
+  plan.stats = node.gpu_heap().alloc(putget::kStatsBytes, 64);
+  putget::ExtollPutListConfig cfg;
+  cfg.count = plan.count;
+  cfg.row_table = rows;
+  cfg.bar_page = pi->requester_page;
+  cfg.req_queue_base = pi->req_queue_base;
+  cfg.req_rp_cell = pi->req_rp_addr;
+  cfg.queue_entry_mask = pi->queue_entries - 1;
+  cfg.stats_addr = plan.stats;
+  plan.program = putget::build_extoll_putlist_kernel(cfg);
+  return plan;
+}
+
+Result<Shmem::DevicePlan> Shmem::build_ib_plan(
+    int pe, const std::vector<DeviceUpdate>& ups) {
+  sys::Node& node = domain_->cluster().node(pe);
+  auto local_mr = domain_->region_mr(pe);
+  if (!local_mr.is_ok()) return local_mr.status();
+
+  // The put-list WQE template bakes in one rkey, so every target's
+  // region key must match. register_region performs the registration in
+  // the same order on every HCA, which makes the keys symmetric; this
+  // guards against a future asymmetric setup.
+  std::set<int> targets;
+  for (const DeviceUpdate& u : ups) targets.insert(u.to);
+  std::uint32_t rkey = 0;
+  bool first = true;
+  for (int t : targets) {
+    auto mr = domain_->region_mr(t);
+    if (!mr.is_ok()) return mr.status();
+    if (first) {
+      rkey = mr->rkey;
+      first = false;
+    } else if (mr->rkey != rkey) {
+      return failed_precondition(
+          "device plan: asymmetric region rkeys across targets (symmetric "
+          "registration required for a single WQE template)");
+    }
+  }
+
+  // One device QP context per (pe, target), built once: the context
+  // carries live producer/consumer indices that must survive across
+  // plans and launches.
+  std::map<int, mem::Addr> qpc_by_target;
+  for (int t : targets) {
+    auto ep = domain_->device_endpoint(pe, t);
+    if (!ep.is_ok()) return ep.status();
+    const auto key = std::make_pair(pe, t);
+    auto it = device_qpc_.find(key);
+    if (it == device_qpc_.end()) {
+      const std::uint64_t table_entries = 8;
+      const mem::Addr qp_table =
+          putget::make_qp_table(node, (*ep)->qp().qpn, table_entries);
+      const mem::Addr qpc =
+          putget::make_qp_device_context(node, **ep, qp_table, table_entries);
+      it = device_qpc_.emplace(key, qpc).first;
+    }
+    qpc_by_target[t] = it->second;
+  }
+
+  // One 32-byte row per update: [qpc, laddr, raddr, pad].
+  const mem::Addr rows = node.gpu_heap().alloc(ups.size() * 32, 64);
+  for (std::size_t i = 0; i < ups.size(); ++i) {
+    const DeviceUpdate& u = ups[i];
+    node.memory().write_u64(rows + i * 32 + 0, qpc_by_target[u.to]);
+    node.memory().write_u64(rows + i * 32 + 8, addr(pe, u.src));
+    node.memory().write_u64(rows + i * 32 + 16, addr(u.to, u.dst));
+    node.memory().write_u64(rows + i * 32 + 24, 0);
+  }
+
+  DevicePlan plan;
+  plan.count = static_cast<std::uint32_t>(ups.size());
+  plan.stats = node.gpu_heap().alloc(putget::kStatsBytes, 64);
+  putget::IbPutListConfig cfg;
+  cfg.count = plan.count;
+  cfg.wqe.opcode = ib::WqeOpcode::kRdmaWrite;
+  cfg.wqe.signaled = true;
+  cfg.wqe.byte_len = 8;
+  cfg.wqe.lkey = local_mr->lkey;
+  cfg.wqe.rkey = rkey;
+  cfg.wqe.preswap_static_fields = true;
+  plan.program = putget::build_ib_putlist_kernel(cfg);
+  plan.params = {rows, plan.stats};
+  return plan;
+}
+
+}  // namespace pg::shmem

@@ -1,0 +1,188 @@
+// OpenSHMEM-flavoured symmetric-heap API over the notifiable-RMA layer.
+//
+// OpenSHMEM's core abstraction is the *symmetric heap*: every PE
+// (processing element — here, one cluster node) allocates the same
+// objects at the same offsets, so a single offset names a remote
+// object on any peer. This module builds that on top of
+// putget::NotifyDomain: one region per node, registered with whichever
+// fabric the domain was created for, with an in-region bump allocator
+// whose cursor advances identically on every PE.
+//
+// The API mirrors the OpenSHMEM surface the paper's put/get analysis
+// maps onto:
+//
+//   shmem_malloc          symmetric allocation (an offset, valid on all PEs)
+//   put / put_nbi / get   RMA data movement (blocking / nonblocking)
+//   atomic_fetch_add      fetch-and-add emulated as get-modify-put
+//   quiet / fence         source-side completion ordering
+//   wait_until            point-to-point sync by payload polling
+//   barrier_all           dissemination barrier built from small puts
+//
+// Everything works unchanged on both fabrics — the completion
+// strategy differences (EXTOLL notifications vs IB CQEs vs payload
+// polling) are absorbed by the NotifyDomain. build_device_put_plan
+// additionally compiles a list of 8-byte puts into a GPU kernel
+// (putget/device_lib), so the same symmetric offsets drive
+// GPU-initiated communication.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gpu/program.h"
+#include "putget/notify.h"
+
+namespace pg::shmem {
+
+/// Offset into the symmetric region; the same offset is valid on every
+/// PE (symmetric addressing).
+using SymOff = std::uint64_t;
+
+struct ShmemOptions {
+  putget::RmaBackend backend = putget::RmaBackend::kExtoll;
+  /// User-allocatable symmetric heap bytes per PE.
+  std::uint64_t heap_bytes = 1u << 20;
+  putget::NotifyOptions notify;
+};
+
+class Shmem {
+ public:
+  // --- symmetric-region layout (offsets identical on every PE) -------------
+  /// [0, 64): NotifyDomain scratch (flush-get landing pad / read source).
+  static constexpr SymOff kDomainReservedOff = 0;
+  /// Dissemination-barrier arrival slots, one u64 per round.
+  static constexpr std::uint32_t kBarrierRounds = 6;  // supports <= 64 PEs
+  static constexpr SymOff kBarrierSlotOff = 64;       // 64 + k*8, k < 6
+  /// Staging word for the barrier's outgoing generation number.
+  static constexpr SymOff kBarrierStagingOff = 112;
+  /// atomic_fetch_add scratch: fetched-old landing, new-value staging,
+  /// and the readback cell used to confirm remote visibility.
+  static constexpr SymOff kAmoLandingOff = 120;
+  static constexpr SymOff kAmoStagingOff = 128;
+  static constexpr SymOff kAmoReadbackOff = 136;
+  /// First user-allocatable offset (64-aligned).
+  static constexpr SymOff kHeapStartOff = 192;
+
+  /// Builds the symmetric heap on every node of `cluster`: allocates one
+  /// region per node (from its GPU heap, so device kernels can source
+  /// puts directly), creates the NotifyDomain and registers the regions.
+  static Result<std::unique_ptr<Shmem>> create(sys::Cluster& cluster,
+                                               const ShmemOptions& options);
+
+  Shmem(const Shmem&) = delete;
+  Shmem& operator=(const Shmem&) = delete;
+
+  int n_pes() const { return domain_->num_nodes(); }
+  putget::RmaBackend backend() const { return domain_->backend(); }
+  putget::NotifyDomain& domain() { return *domain_; }
+  sys::Cluster& cluster() { return domain_->cluster(); }
+
+  // --- symmetric allocation -------------------------------------------------
+
+  /// Allocates `bytes` from the symmetric heap; the returned offset is
+  /// valid on every PE. No free (OpenSHMEM-style arena lifetime).
+  Result<SymOff> shmem_malloc(std::uint64_t bytes, std::uint64_t align = 8);
+
+  /// The address of symmetric offset `off` on PE `pe`.
+  mem::Addr addr(int pe, SymOff off) const {
+    return domain_->region_base(pe) + off;
+  }
+
+  /// Zero-sim-time debug/setup accessors for symmetric words.
+  std::uint64_t peek_u64(int pe, SymOff off) const;
+  void poke_u64(int pe, SymOff off, std::uint64_t value);
+
+  // --- RMA ------------------------------------------------------------------
+
+  /// Nonblocking put of `bytes` from `src` on `from` to `dst` on `to`.
+  Result<putget::OpHandle> put_nbi(
+      int from, int to, SymOff dst, SymOff src, std::uint32_t bytes,
+      putget::Completion completion = putget::Completion::kNotification);
+
+  /// Blocking put: returns after local completion (source reusable).
+  Status put(int from, int to, SymOff dst, SymOff src, std::uint32_t bytes,
+             putget::Completion completion = putget::Completion::kNotification);
+
+  /// Blocking get: returns after the remote data landed locally.
+  Status get(int from, int to, SymOff local_dst, SymOff remote_src,
+             std::uint32_t bytes);
+
+  /// Fetch-and-add on the u64 at `off` on PE `to`, driven by PE `from`;
+  /// returns the pre-add value. Emulated as get-modify-put (the paper's
+  /// fabrics expose put/get, not remote atomics), so it is atomic only
+  /// with respect to other calls through this serialized host path.
+  Result<std::uint64_t> atomic_fetch_add(int from, int to, SymOff off,
+                                         std::uint64_t delta);
+
+  // --- ordering & sync ------------------------------------------------------
+
+  /// Remote completion of all puts `pe` issued (OpenSHMEM shmem_quiet).
+  Status quiet(int pe);
+  /// Ordering fence; conservatively implemented as quiet().
+  Status fence(int pe);
+
+  /// Spins on the symmetric u64 at `off` on `pe` until it compares true
+  /// against `value` (OpenSHMEM shmem_wait_until).
+  bool wait_until(int pe, SymOff off, putget::WaitCmp cmp,
+                  std::uint64_t value);
+
+  /// kNotification arrivals observed by `pe` so far / blocking wait.
+  std::uint64_t notified(int pe) const { return domain_->notified(pe); }
+  bool wait_notified(int pe, std::uint64_t target) {
+    return domain_->wait_notified(pe, target);
+  }
+
+  /// Dissemination barrier over all PEs: ceil(log2(n)) rounds of one
+  /// 8-byte payload-poll put each. Requires n_pes() <= 64.
+  Status barrier_all();
+
+  // --- GPU-driven plans -----------------------------------------------------
+
+  /// One 8-byte update in a device put plan, in symmetric offsets.
+  struct DeviceUpdate {
+    int to = 0;   // target PE
+    SymOff dst = 0;
+    SymOff src = 0;  // source word on the issuing PE
+  };
+
+  /// A compiled GPU kernel that issues a list of 8-byte puts from PE
+  /// `pe`'s symmetric region. Launch with blocks=1, threads=1 and
+  /// `params`; completion stats land at `stats` (putget/stats.h).
+  struct DevicePlan {
+    gpu::Program program;
+    std::uint32_t count = 0;
+    std::vector<std::uint64_t> params;
+    mem::Addr stats = 0;
+  };
+
+  /// Compiles `updates` into a device put-list kernel for PE `pe`.
+  /// EXTOLL: posts on the domain's dedicated device port, consuming its
+  /// own requester notifications. IB: drives dedicated GPU-ring RC
+  /// endpoints (one per target PE), polling send CQEs.
+  Result<DevicePlan> build_device_put_plan(
+      int pe, const std::vector<DeviceUpdate>& updates);
+
+ private:
+  explicit Shmem(std::unique_ptr<putget::NotifyDomain> domain,
+                 std::uint64_t heap_bytes)
+      : domain_(std::move(domain)),
+        heap_end_(kHeapStartOff + heap_bytes) {}
+
+  Result<DevicePlan> build_extoll_plan(int pe,
+                                       const std::vector<DeviceUpdate>& ups);
+  Result<DevicePlan> build_ib_plan(int pe,
+                                   const std::vector<DeviceUpdate>& ups);
+
+  std::unique_ptr<putget::NotifyDomain> domain_;
+  std::uint64_t heap_end_ = 0;
+  SymOff heap_next_ = kHeapStartOff;
+  std::uint64_t barrier_gen_ = 0;
+  /// Device-side QP contexts for IB plans, keyed (from, to). A context
+  /// holds live producer/consumer indices, so it is built once per
+  /// endpoint and reused across plans.
+  std::map<std::pair<int, int>, mem::Addr> device_qpc_;
+};
+
+}  // namespace pg::shmem

@@ -30,6 +30,9 @@ Status Cluster::validate(const ClusterConfig& cfg) {
   if (cfg.num_nodes < 2) {
     return invalid_argument("cluster needs at least 2 nodes");
   }
+  if (Status s = net::validate_plan(cfg.topology, cfg.num_nodes); !s.is_ok()) {
+    return s;
+  }
   if (cfg.node.with_extoll) {
     if (Status s = check_net(cfg.extoll_net, "extoll"); !s.is_ok()) return s;
   }
