@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -32,8 +33,11 @@ namespace pg::bench {
 /// bench's table name plus the series/modes it produces (one per
 /// indented line, machine-parsable) and returns true — main should then
 /// exit 0 without running anything. Call before constructing Session.
+/// Benches that forward Session::threads() to their workloads pass
+/// `threads = true` so the listing advertises the flag.
 inline bool handle_list_flag(int argc, char** argv, const std::string& bench,
-                             const std::vector<std::string>& series) {
+                             const std::vector<std::string>& series,
+                             bool threads = false) {
   bool found = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) found = true;
@@ -41,6 +45,7 @@ inline bool handle_list_flag(int argc, char** argv, const std::string& bench,
   if (!found) return false;
   std::printf("%s\n", bench.c_str());
   for (const std::string& s : series) std::printf("  %s\n", s.c_str());
+  if (threads) std::printf("  --threads=N (parallel event engine)\n");
   return true;
 }
 
@@ -151,12 +156,19 @@ class Session {
         trace_path_ = a + 8;
       } else if (std::strncmp(a, "--json=", 7) == 0) {
         json_path_ = a + 7;
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        threads_ = std::atoi(a + 10);
+        if (threads_ < 1) {
+          std::fprintf(stderr, "ignoring '%s': thread count must be >= 1\n",
+                       a);
+          threads_ = 1;
+        }
       } else if (std::strcmp(a, "--list") == 0) {
         // Handled by handle_list_flag before the Session exists.
       } else {
         std::fprintf(stderr,
-                     "unknown argument '%s' (expected --list, --trace=FILE "
-                     "or --json=FILE)\n",
+                     "unknown argument '%s' (expected --list, --threads=N, "
+                     "--trace=FILE or --json=FILE)\n",
                      a);
       }
     }
@@ -251,10 +263,17 @@ class Session {
     if (!json_path_.empty()) tables_.emplace_back(name, table);
   }
 
+  /// Event-engine worker threads from --threads=N (default 1). Multi-
+  /// node benches forward this into their workload configs; results are
+  /// byte-identical for any value. Note that --trace/--json attach
+  /// observability sinks, which forces the sequential engine.
+  int threads() const { return threads_; }
+
  private:
   std::chrono::steady_clock::time_point wall_start_;
   std::string trace_path_;
   std::string json_path_;
+  int threads_ = 1;
   obs::TraceRecorder* recorder_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlowTable* flows_ = nullptr;

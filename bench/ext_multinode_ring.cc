@@ -14,7 +14,8 @@
 
 int main(int argc, char** argv) {
   if (pg::bench::handle_list_flag(argc, argv, "ext-multinode-ring",
-                                   {"extoll[us/iter]", "ib[us/iter]", "extoll msgs", "ib msgs"})) {
+                                   {"extoll[us/iter]", "ib[us/iter]", "extoll msgs", "ib msgs"},
+                                   /*threads=*/true)) {
     return 0;
   }
   pg::bench::Session session(argc, argv);
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
       cfg.topology = net::Topology::kRing;
       RingConfig ring;
       ring.backend = backend;
+      ring.threads = session.threads();
       const RingResult r = putget::run_ring_halo_exchange(cfg, ring);
       if (!r.verified) {
         std::fprintf(stderr, "FAILED: %s ring with %d nodes\n",

@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   if (pg::bench::handle_list_flag(
           argc, argv, "shmem-gups",
           {"extoll host", "extoll gpu", "ib host", "ib gpu",
-           "extoll amo p50", "extoll amo p99", "ib amo p50", "ib amo p99"})) {
+           "extoll amo p50", "extoll amo p99", "ib amo p50", "ib amo p99"},
+          /*threads=*/true)) {
     return 0;
   }
   pg::bench::Session session(argc, argv);
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     cfg.updates_per_pe = updates;
     cfg.table_words = 64;
     cfg.zipf_s = zipf;
+    cfg.threads = session.threads();
     const auto r = shmem::run_gups(cfg);
     if (!r.verified) {
       std::fprintf(stderr, "FAILED: %s/%s %u updates: %s\n",

@@ -12,7 +12,8 @@
 int main(int argc, char** argv) {
   if (pg::bench::handle_list_flag(
           argc, argv, "shmem-halo2d",
-          {"extoll[us/iter]", "ib[us/iter]", "puts/iter"})) {
+          {"extoll[us/iter]", "ib[us/iter]", "puts/iter"},
+          /*threads=*/true)) {
     return 0;
   }
   pg::bench::Session session(argc, argv);
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     cfg.nx = nx;
     cfg.ny = ny;
     cfg.iterations = 6;
+    cfg.threads = session.threads();
     const auto r = shmem::run_halo2d(cfg);
     if (!r.verified || r.notified_total != r.halo_puts) {
       std::fprintf(stderr, "FAILED: %s %ux%u: %s\n",

@@ -6,8 +6,11 @@ WarpState::WarpState(unsigned active_lanes) {
   assert(active_lanes >= 1 && active_lanes <= kWarpSize);
   mask_ = active_lanes == kWarpSize ? 0xFFFFFFFFu
                                     : ((1u << active_lanes) - 1u);
-  regs_.resize(kWarpSize);
-  for (auto& file : regs_) file.fill(0);
+  // resize() value-initializes each file to zero. Sized to the active
+  // count, not kWarpSize: every reg access is bounded by a mask bit, and
+  // the tail warp of the device put/get library is usually one lane —
+  // no point zeroing 8 KiB of registers it can never name.
+  regs_.resize(active_lanes);
 }
 
 bool WarpState::maybe_reconverge() {

@@ -20,21 +20,6 @@ const char* space_name(Space s) {
   return "invalid";
 }
 
-Space AddressMap::classify(Addr addr) {
-  if (in_host_dram(addr)) return Space::kHostDram;
-  if (in_gpu_dram(addr)) return Space::kGpuDram;
-  if (addr >= kExtollBarBase && addr < kExtollBarBase + kExtollBarSize) {
-    return Space::kExtollBar;
-  }
-  if (addr >= kIbUarBase && addr < kIbUarBase + kIbUarSize) {
-    return Space::kIbUar;
-  }
-  if (addr >= kGpuSharedBase && addr < kGpuSharedBase + kGpuSharedSize) {
-    return Space::kGpuShared;
-  }
-  return Space::kInvalid;
-}
-
 bool AddressMap::contained(Addr addr, std::uint64_t size) {
   if (size == 0) return true;
   const Space first = classify(addr);

@@ -51,8 +51,22 @@ struct AddressMap {
   static constexpr Addr kGpuSharedBase = 0x0000'F000'0000'0000ull;
   static constexpr std::uint64_t kGpuSharedSize = 256 * MiB;
 
-  /// Which space an address falls into (kInvalid if none).
-  static Space classify(Addr addr);
+  /// Which space an address falls into (kInvalid if none). Inline: this
+  /// runs on every modeled memory access, and the ranges are constexpr.
+  static Space classify(Addr addr) {
+    if (in_host_dram(addr)) return Space::kHostDram;
+    if (in_gpu_dram(addr)) return Space::kGpuDram;
+    if (addr >= kExtollBarBase && addr < kExtollBarBase + kExtollBarSize) {
+      return Space::kExtollBar;
+    }
+    if (addr >= kIbUarBase && addr < kIbUarBase + kIbUarSize) {
+      return Space::kIbUar;
+    }
+    if (addr >= kGpuSharedBase && addr < kGpuSharedBase + kGpuSharedSize) {
+      return Space::kGpuShared;
+    }
+    return Space::kInvalid;
+  }
 
   /// True when [addr, addr+size) lies entirely in one space.
   static bool contained(Addr addr, std::uint64_t size);

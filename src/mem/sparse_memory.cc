@@ -48,20 +48,20 @@ const SparseMemory::Page* SparseMemory::lookup_page_slow(
     std::uint64_t index) const {
   auto it = pages_.find(index);
   Page* page = it == pages_.end() ? nullptr : it->second.get();
-  cached_index_ = index;
-  cached_page_ = page;  // caches "absent" too; writes refresh the entry
+  // Caches "absent" too; get_or_create_page refreshes the slot on write.
+  cache_[index % kCacheSlots] = CacheEntry{index, page};
   return page;
 }
 
 SparseMemory::Page& SparseMemory::get_or_create_page(std::uint64_t index) {
-  if (index == cached_index_ && cached_page_ != nullptr) return *cached_page_;
+  CacheEntry& e = cache_[index % kCacheSlots];
+  if (e.index == index && e.page != nullptr) return *e.page;
   auto it = pages_.find(index);
   if (it == pages_.end()) {
     it = pages_.emplace(index, std::make_unique<Page>()).first;
     it->second->fill(0);
   }
-  cached_index_ = index;
-  cached_page_ = it->second.get();
+  e = CacheEntry{index, it->second.get()};
   return *it->second;
 }
 

@@ -95,8 +95,7 @@ class SparseMemory {
   /// Releases all pages (contents revert to zero).
   void clear() {
     pages_.clear();
-    cached_index_ = kNoPage;
-    cached_page_ = nullptr;
+    cache_.fill(CacheEntry{});
   }
 
   std::size_t resident_pages() const { return pages_.size(); }
@@ -104,9 +103,20 @@ class SparseMemory {
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
   static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+  // Direct-mapped translation cache. Sized for the working sets that
+  // defeat a small one — a kernel streaming a multi-page field buffer
+  // while the NIC walks its descriptor and notification pages — at a
+  // cost (1 KiB per region) still far below one backing page.
+  static constexpr std::size_t kCacheSlots = 64;
+
+  struct CacheEntry {
+    std::uint64_t index = kNoPage;
+    Page* page = nullptr;  // nullptr caches "page absent"
+  };
 
   const Page* lookup_page(std::uint64_t index) const {
-    if (index == cached_index_) return cached_page_;
+    const CacheEntry& e = cache_[index % kCacheSlots];
+    if (e.index == index) return e.page;
     return lookup_page_slow(index);
   }
   const Page* lookup_page_slow(std::uint64_t index) const;
@@ -140,9 +150,9 @@ class SparseMemory {
 
   std::uint64_t size_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
-  // Last page touched (read or write). Mutable: a const read warms it.
-  mutable std::uint64_t cached_index_ = kNoPage;
-  mutable Page* cached_page_ = nullptr;  // nullptr caches "page absent"
+  // Recently touched pages (read or write). Mutable: a const read warms
+  // its slot.
+  mutable std::array<CacheEntry, kCacheSlots> cache_{};
 };
 
 }  // namespace pg::mem

@@ -16,6 +16,7 @@
 #include "common/bitops.h"
 #include "common/units.h"
 #include "obs/flow.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 
 namespace pg::net {
@@ -31,11 +32,30 @@ class NetworkLink {
  public:
   using Handler = std::function<void(std::vector<std::uint8_t>)>;
 
-  NetworkLink(sim::Simulation& sim, NetConfig cfg) : sim_(sim), cfg_(cfg) {}
+  NetworkLink(sim::Simulation& sim, NetConfig cfg) : cfg_(cfg) {
+    sides_[0].sim = &sim;
+    sides_[1].sim = &sim;
+  }
 
   /// Registers the frame handler for `side` (0 or 1).
   void attach(int side, Handler handler) {
     sides_[side].handler = std::move(handler);
+  }
+
+  /// Splits the two endpoints across event shards: side 0 runs on
+  /// `shard_a` / side 1 on `shard_b`, and deliveries between different
+  /// shards travel through the group's admission channels instead of a
+  /// shared heap. The link's flight latency is what makes this legal —
+  /// it is the group's lookahead. Sender-side state (busy_until, byte
+  /// counters) is owned by the sending shard throughout.
+  void bind_shards(sim::ShardGroup& group, int shard_a,
+                   sim::Simulation& sim_a, int shard_b,
+                   sim::Simulation& sim_b) {
+    group_ = &group;
+    shard_of_[0] = shard_a;
+    shard_of_[1] = shard_b;
+    sides_[0].sim = &sim_a;
+    sides_[1].sim = &sim_b;
   }
 
   /// Sends a frame from `side` to the opposite side. Frames from one side
@@ -45,11 +65,12 @@ class NetworkLink {
   void send(int side, std::vector<std::uint8_t> frame,
             obs::FlowId flow = 0) {
     Direction& dir = sides_[side].tx;
+    sim::Simulation& ssim = *sides_[side].sim;
     const std::uint64_t packets =
         std::max<std::uint64_t>(1, div_ceil(frame.size(), cfg_.mtu));
     const std::uint64_t wire_bytes =
         frame.size() + packets * cfg_.header_bytes;
-    const SimTime start = std::max(sim_.now(), dir.busy_until);
+    const SimTime start = std::max(ssim.now(), dir.busy_until);
     dir.busy_until = start + cfg_.bandwidth.transfer_time(wire_bytes);
     dir.bytes += frame.size();
     ++dir.frames;
@@ -60,12 +81,22 @@ class NetworkLink {
                      flow);
     }
     const int other = 1 - side;
-    sim_.schedule_at(dir.busy_until + cfg_.latency,
-                     [this, other, frame = std::move(frame)]() mutable {
-                       if (sides_[other].handler) {
-                         sides_[other].handler(std::move(frame));
-                       }
-                     });
+    const SimTime deliver_at = dir.busy_until + cfg_.latency;
+    auto deliver = [this, other, frame = std::move(frame)]() mutable {
+      if (sides_[other].handler) {
+        sides_[other].handler(std::move(frame));
+      }
+    };
+    if (group_ == nullptr || shard_of_[side] == shard_of_[other]) {
+      sides_[other].sim->schedule_at(deliver_at, std::move(deliver));
+    } else {
+      // Crossing shards: the delivery carries this side's birth stamp,
+      // so it interleaves with the receiver's same-timestamp events in
+      // exactly the order one global scheduling counter would give.
+      const sim::Simulation::Birth birth = ssim.take_birth();
+      group_->post(shard_of_[side], shard_of_[other], deliver_at, birth.time,
+                   birth.tag, std::move(deliver));
+    }
   }
 
   std::uint64_t bytes_sent(int side) const { return sides_[side].tx.bytes; }
@@ -81,11 +112,13 @@ class NetworkLink {
   struct Side {
     Handler handler;
     Direction tx;
+    sim::Simulation* sim = nullptr;
   };
 
-  sim::Simulation& sim_;
   NetConfig cfg_;
   Side sides_[2];
+  sim::ShardGroup* group_ = nullptr;
+  int shard_of_[2] = {0, 0};
 };
 
 }  // namespace pg::net

@@ -14,7 +14,8 @@ void DmaEngine::read(mem::Addr addr, std::uint64_t len,
                      std::function<void(std::vector<std::uint8_t>)> on_done,
                      obs::FlowId flow) {
   assert(len > 0);
-  auto job = std::make_shared<ReadJob>();
+  auto* job = new ReadJob;
+  job->engine = this;
   job->base = addr;
   job->length = len;
   job->buffer.resize(len);
@@ -24,7 +25,7 @@ void DmaEngine::read(mem::Addr addr, std::uint64_t len,
   pump_reads(job);
 }
 
-void DmaEngine::pump_reads(const std::shared_ptr<ReadJob>& job) {
+void DmaEngine::pump_reads(ReadJob* job) {
   while (job->next_offset < job->length &&
          job->outstanding < cfg_.max_outstanding_reads) {
     const std::uint64_t offset = job->next_offset;
@@ -33,39 +34,49 @@ void DmaEngine::pump_reads(const std::shared_ptr<ReadJob>& job) {
     job->next_offset += chunk;
     ++job->outstanding;
     ++reads_issued_;
+    // Packed 40-bit offset / 24-bit chunk: with the engine pointer folded
+    // into the job, the capture is exactly two words, so std::function
+    // stores the callback inline — no heap allocation per chunk on a path
+    // every payload byte of every modeled transfer funnels through.
+    const std::uint64_t packed = offset | (std::uint64_t{chunk} << 40);
     fabric_.read(self_, job->base + offset, chunk,
-                 [this, job, offset, chunk](std::vector<std::uint8_t> data) {
+                 [job, packed](std::vector<std::uint8_t> data) {
+                   const std::uint64_t offset = packed & ((1ull << 40) - 1);
+                   const auto chunk = static_cast<std::uint32_t>(packed >> 40);
                    assert(data.size() == chunk);
                    std::memcpy(job->buffer.data() + offset, data.data(),
                                chunk);
                    --job->outstanding;
                    job->received += chunk;
+                   DmaEngine* self = job->engine;
                    if (job->received == job->length) {
                      if (obs::metrics()) {
                        obs::count("dma.reads");
-                       obs::observe("dma.read_ns",
-                                    static_cast<std::uint64_t>(
-                                        to_ns(sim_.now() - job->t_start)));
+                       obs::observe(
+                           "dma.read_ns",
+                           static_cast<std::uint64_t>(
+                               to_ns(self->sim_.now() - job->t_start)));
                      }
                      if (obs::enabled()) {
                        if (job->flow != 0) {
                          obs::span("pcie.dma", "dma", "dma-read",
-                                   job->t_start, sim_.now(),
+                                   job->t_start, self->sim_.now(),
                                    {{"addr", job->base},
                                     {"len", job->length},
                                     {"flow", job->flow}});
                        } else {
                          obs::span("pcie.dma", "dma", "dma-read",
-                                   job->t_start, sim_.now(),
+                                   job->t_start, self->sim_.now(),
                                    {{"addr", job->base},
                                     {"len", job->length}});
                        }
-                       obs::flow_step(job->flow, "pcie.dma", sim_.now());
+                       obs::flow_step(job->flow, "pcie.dma", self->sim_.now());
                      }
                      job->on_done(std::move(job->buffer));
+                     delete job;
                      return;
                    }
-                   pump_reads(job);
+                   self->pump_reads(job);
                  });
   }
 }

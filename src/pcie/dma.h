@@ -49,6 +49,7 @@ class DmaEngine {
 
  private:
   struct ReadJob {
+    DmaEngine* engine;               // owner; lets chunk callbacks stay small
     mem::Addr base;
     std::uint64_t length;
     std::vector<std::uint8_t> buffer;
@@ -60,7 +61,9 @@ class DmaEngine {
     std::function<void(std::vector<std::uint8_t>)> on_done;
   };
 
-  void pump_reads(const std::shared_ptr<ReadJob>& job);
+  /// The job is owned by its in-flight chunk callbacks collectively: the
+  /// callback that completes the final byte runs on_done and frees it.
+  void pump_reads(ReadJob* job);
 
   sim::Simulation& sim_;
   Fabric& fabric_;

@@ -24,11 +24,13 @@ class NotificationReader {
   NotificationReader() = default;
   NotificationReader(mem::Addr slot_base, mem::Addr rp_addr,
                      std::uint32_t entries)
-      : slot_base_(slot_base), rp_addr_(rp_addr), entries_(entries) {}
+      : slot_base_(slot_base), rp_addr_(rp_addr), entries_(entries),
+        slot_(slot_base) {}
 
-  mem::Addr current_slot() const {
-    return slot_base_ + (index_ % entries_) * extoll::kNotificationBytes;
-  }
+  /// Cached: pending() runs once per modeled poll probe, so the slot
+  /// address is maintained at consume() time instead of recomputing
+  /// index % entries on the spin loop's hot path.
+  mem::Addr current_slot() const { return slot_; }
 
   /// Host-side check: is a notification pending? (One cached read.)
   bool pending(const host::HostCpu& cpu) const {
@@ -44,6 +46,7 @@ class NotificationReader {
     cpu.store_u64(slot, 0);
     cpu.store_u64(slot + 8, 0);
     ++index_;
+    slot_ = slot_base_ + (index_ % entries_) * extoll::kNotificationBytes;
     cpu.store_u32(rp_addr_, index_);
     return extoll::Notification::decode(w0, w1);
   }
@@ -57,7 +60,8 @@ class NotificationReader {
   mem::Addr slot_base_ = 0;
   mem::Addr rp_addr_ = 0;
   std::uint32_t entries_ = 0;
-  std::uint32_t index_ = 0;  // next slot to inspect
+  std::uint32_t index_ = 0;   // next slot to inspect
+  mem::Addr slot_ = 0;        // == slot_base_ + (index_ % entries_) * bytes
 };
 
 /// One opened RMA port driven from the host.

@@ -22,11 +22,13 @@ namespace pg::putget {
 class CqReader {
  public:
   CqReader() = default;
-  explicit CqReader(const ib::CqInfo& info) : info_(info) {}
+  explicit CqReader(const ib::CqInfo& info)
+      : info_(info), slot_(info.buffer) {}
 
-  mem::Addr current_slot() const {
-    return info_.buffer + (ci_ % info_.entries) * ib::kCqeBytes;
-  }
+  /// Cached: pending() runs once per modeled poll probe, so the slot
+  /// address is maintained at consume() time instead of recomputing
+  /// ci % entries on the spin loop's hot path.
+  mem::Addr current_slot() const { return slot_; }
 
   /// One probe of the valid marker (host side: a cached/DRAM load; note
   /// that when the CQ lives in GPU memory the host cannot poll it - the
@@ -41,6 +43,7 @@ class CqReader {
     cpu.load_bytes(current_slot(), bytes);
     cpu.store_u64(current_slot() + ib::kCqeValidOffset, 0);
     ++ci_;
+    slot_ = info_.buffer + (ci_ % info_.entries) * ib::kCqeBytes;
     cpu.store_u32(info_.ci_addr, ci_);
     return ib::decode_cqe(bytes);
   }
@@ -51,6 +54,7 @@ class CqReader {
  private:
   ib::CqInfo info_;
   std::uint32_t ci_ = 0;
+  mem::Addr slot_ = 0;  // == buffer + (ci_ % entries) * kCqeBytes
 };
 
 /// One connected QP + CQ, with software produce/consume state.

@@ -1,6 +1,7 @@
 #include "putget/ring_workload.h"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/log.h"
@@ -133,12 +134,22 @@ bool extoll_exchange(sys::Cluster& cluster, std::vector<ExtollNodeState>& st,
     tasks.push_back(
         st[i].port_left.wait_completer(node.cpu(), &landed[i * 4 + 3]));
   }
-  return cluster.run_until([&] {
-    for (const sim::Trigger& t : landed) {
-      if (!t.fired()) return false;
-    }
-    return true;
-  });
+  // Each node's four triggers are node-local state, so the wait
+  // decomposes per shard and the exchange runs in parallel.
+  std::vector<sim::ShardCond> conds;
+  conds.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    conds.push_back({i, [&landed, i] {
+                       for (int k = 0; k < 4; ++k) {
+                         if (!landed[static_cast<std::size_t>(i) * 4 + k]
+                                  .fired()) {
+                           return false;
+                         }
+                       }
+                       return true;
+                     }});
+  }
+  return cluster.run_until_each(std::move(conds));
 }
 
 // ---------------------------------------------------------------------------
@@ -183,12 +194,20 @@ bool ib_exchange(sys::Cluster& cluster, std::vector<IbEdgeState>& edges,
       tasks.push_back(edges[e].ep_b.post_recv(cluster.node(b).cpu(), rwqe,
                                               &posted[e * 2 + 1]));
     }
-    if (!cluster.run_until([&] {
-          for (const sim::Trigger& t : posted) {
-            if (!t.fired()) return false;
-          }
-          return true;
-        })) {
+    // Endpoint ep_a of edge e lives on node e, ep_b on node e+1: every
+    // node owns exactly one trigger from each of its two edges.
+    std::vector<sim::ShardCond> conds;
+    conds.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::size_t own_a = static_cast<std::size_t>(i) * 2;      // e = i
+      const std::size_t own_b =
+          static_cast<std::size_t>((i + n - 1) % n) * 2 + 1;          // e = i-1
+      conds.push_back({i, [&posted, own_a, own_b] {
+                         return posted[own_a].fired() &&
+                                posted[own_b].fired();
+                       }});
+    }
+    if (!cluster.run_until_each(std::move(conds))) {
       return false;
     }
   }
@@ -225,12 +244,17 @@ bool ib_exchange(sys::Cluster& cluster, std::vector<IbEdgeState>& edges,
                                            &cqes[e * 2 + 1],
                                            &landed[e * 2 + 1]));
   }
-  return cluster.run_until([&] {
-    for (const sim::Trigger& t : landed) {
-      if (!t.fired()) return false;
-    }
-    return true;
-  });
+  std::vector<sim::ShardCond> conds;
+  conds.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t own_a = static_cast<std::size_t>(i) * 2;          // e = i
+    const std::size_t own_b =
+        static_cast<std::size_t>((i + n - 1) % n) * 2 + 1;              // e = i-1
+    conds.push_back({i, [&landed, own_a, own_b] {
+                       return landed[own_a].fired() && landed[own_b].fired();
+                     }});
+  }
+  return cluster.run_until_each(std::move(conds));
 }
 
 }  // namespace
@@ -265,13 +289,21 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
     return out;
   }
 
-  sys::Cluster cluster(cfg);
+  sys::ClusterConfig ccfg = cfg;
+  ccfg.threads = ring.threads;
+  sys::Cluster cluster(ccfg);
   const int n = cluster.num_nodes();
   out.num_nodes = n;
   const std::uint64_t field_bytes = (cells + 2) * 8;
-  OpSpan op(cluster.sim(),
-            op_label("ring-halo", ring_backend_name(ring.backend),
-                     field_bytes));
+  // Lifecycle span only in single-heap mode: sharded runs never have
+  // observability sinks attached (the cluster falls back if they are),
+  // so skipping it there changes nothing.
+  std::optional<OpSpan> op;
+  if (!cluster.sharded()) {
+    op.emplace(cluster.sim(),
+               op_label("ring-halo", ring_backend_name(ring.backend),
+                        field_bytes));
+  }
 
   // Double-buffered field per GPU.
   std::vector<NodeField> fields(n);
@@ -362,12 +394,13 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
            .params = {fields[i].buf[cur], fields[i].buf[nxt]}},
           [&done, i] { done[i] = 1; });
     }
-    if (!cluster.run_until([&] {
-          for (char d : done) {
-            if (!d) return false;
-          }
-          return true;
-        })) {
+    std::vector<sim::ShardCond> step_conds;
+    step_conds.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      step_conds.push_back(
+          {i, [&done, i] { return done[static_cast<std::size_t>(i)] != 0; }});
+    }
+    if (!cluster.run_until_each(std::move(step_conds))) {
       return out;
     }
     // Boundary cells of the freshly computed buffer cross the ring.
@@ -380,7 +413,7 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
   }
 
   // Settle in-flight ACK/notification traffic before reading counters.
-  cluster.sim().run_until(cluster.sim().now() + microseconds(50));
+  cluster.run_for(microseconds(50));
 
   for (int i = 0; i < n; ++i) {
     out.delivered += want_extoll ? cluster.node(i).extoll().puts_completed()
@@ -406,8 +439,8 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
     }
   }
   out.verified = all_ok;
-  out.sim_time_us = to_us(cluster.sim().now());
-  out.events_scheduled = cluster.sim().total_scheduled();
+  out.sim_time_us = to_us(cluster.now());
+  out.events_scheduled = cluster.events_scheduled();
   return out;
 }
 

@@ -24,6 +24,10 @@ struct RingConfig {
   RingBackend backend = RingBackend::kExtoll;
   std::uint32_t cells_per_node = 64;  // owned cells per GPU
   std::uint32_t iterations = 24;      // stencil steps
+  /// Event-engine worker threads (see ClusterConfig::threads). Results
+  /// are byte-identical for any value; >1 shards the event heap per
+  /// node and runs the phases in parallel.
+  int threads = 1;
 };
 
 struct RingResult {

@@ -126,7 +126,15 @@ void launch_with_trigger(gpu::Gpu& gpu, const gpu::KernelLaunch& kl,
 bool run_to(sys::Cluster& cluster, const std::function<bool()>& pred) {
   const bool ok = cluster.run_until(pred);
   if (ok) {
-    cluster.sim().run_until(cluster.sim().now() + microseconds(50));
+    cluster.run_for(microseconds(50));
+  }
+  return ok;
+}
+
+bool run_to_each(sys::Cluster& cluster, std::vector<sim::ShardCond> conds) {
+  const bool ok = cluster.run_until_each(std::move(conds));
+  if (ok) {
+    cluster.run_for(microseconds(50));
   }
   return ok;
 }

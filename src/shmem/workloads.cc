@@ -98,6 +98,7 @@ GupsResult run_gups(const GupsConfig& cfg) {
   sys::ClusterConfig cc = sys::default_testbed();
   cc.num_nodes = cfg.num_pes;
   cc.topology = net::Topology::kFullMesh;
+  cc.threads = cfg.threads;
   sys::Cluster cluster(cc);
 
   ShmemOptions so;
@@ -133,7 +134,7 @@ GupsResult run_gups(const GupsConfig& cfg) {
   }
 
   const std::vector<std::vector<Update>> seq = generate_updates(cfg);
-  const SimTime t_start = cluster.sim().now();
+  const SimTime t_start = cluster.now();
 
   // Per-target expected state, replayed from the generated sequence.
   // kPutNotify/kGpu: per-origin columns, last writer wins. kAmo: shared
@@ -209,13 +210,13 @@ GupsResult run_gups(const GupsConfig& cfg) {
         // origins accumulate, which only verifies because this host
         // path serializes the fetch-add round trips.
         const SymOff off = table + u.word * 8;
-        const SimTime t0 = cluster.sim().now();
+        const SimTime t0 = cluster.now();
         auto old = s.atomic_fetch_add(o, u.target, off, 1);
         if (!old.is_ok()) {
           out.error = "gups: " + old.status().to_string();
           return out;
         }
-        latencies.push_back(to_ns(cluster.sim().now() - t0));
+        latencies.push_back(to_ns(cluster.now() - t0));
         if (*old != expected[u.target][u.word]) {
           out.error = "gups: fetch-add returned a stale value";
           return out;
@@ -260,12 +261,12 @@ GupsResult run_gups(const GupsConfig& cfg) {
       kls[o].params = plans[o].params;
       putget::launch_with_trigger(cluster.node(o).gpu(), kls[o], done[o]);
     }
-    if (!putget::run_to(cluster, [&] {
-          for (const sim::Trigger& t : done) {
-            if (!t.fired()) return false;
-          }
-          return true;
-        })) {
+    std::vector<sim::ShardCond> conds;
+    conds.reserve(static_cast<std::size_t>(n));
+    for (int o = 0; o < n; ++o) {
+      conds.push_back({o, [&done, o] { return done[o].fired(); }});
+    }
+    if (!putget::run_to_each(cluster, std::move(conds))) {
       out.error = "gups: device kernels did not finish";
       return out;
     }
@@ -290,11 +291,11 @@ GupsResult run_gups(const GupsConfig& cfg) {
   }
   out.verified = ok;
   out.updates = static_cast<std::uint64_t>(n) * cfg.updates_per_pe;
-  const SimTime elapsed = cluster.sim().now() - t_start;
+  const SimTime elapsed = cluster.now() - t_start;
   out.sim_time_us = to_us(elapsed);
   out.gups = elapsed > 0 ? static_cast<double>(out.updates) / to_ns(elapsed)
                          : 0.0;
-  out.events_executed = cluster.sim().events_executed();
+  out.events_executed = cluster.events_executed();
   return out;
 }
 
@@ -388,6 +389,7 @@ Halo2dResult run_halo2d(const Halo2dConfig& cfg) {
   sys::ClusterConfig cc = sys::default_testbed();
   cc.num_nodes = n;
   cc.topology = net::Topology::kFullMesh;
+  cc.threads = cfg.threads;
   sys::Cluster cluster(cc);
 
   ShmemOptions so;
@@ -446,7 +448,7 @@ Halo2dResult run_halo2d(const Halo2dConfig& cfg) {
 
   const gpu::Program stencil = build_stencil2d(cfg.nx);
   const gpu::Program copy = build_strided_copy();
-  const SimTime t_start = cluster.sim().now();
+  const SimTime t_start = cluster.now();
 
   auto neighbor = [&](int pe, int dx, int dy) {
     const int qx = (pe % cfg.px + dx + cfg.px) % cfg.px;
@@ -459,12 +461,19 @@ Halo2dResult run_halo2d(const Halo2dConfig& cfg) {
     for (std::size_t i = 0; i < kls.size(); ++i) {
       putget::launch_with_trigger(cluster.node(on[i]).gpu(), kls[i], done[i]);
     }
-    return putget::run_to(cluster, [&] {
-      for (const sim::Trigger& t : done) {
-        if (!t.fired()) return false;
-      }
-      return true;
-    });
+    // One condition per node covering every kernel launched on it, so a
+    // sharded cluster runs all PEs' kernels concurrently.
+    std::vector<sim::ShardCond> conds;
+    conds.reserve(static_cast<std::size_t>(n));
+    for (int pe = 0; pe < n; ++pe) {
+      conds.push_back({pe, [&done, &on, pe] {
+                         for (std::size_t i = 0; i < on.size(); ++i) {
+                           if (on[i] == pe && !done[i].fired()) return false;
+                         }
+                         return true;
+                       }});
+    }
+    return putget::run_to_each(cluster, std::move(conds));
   };
 
   int cur = 0;
@@ -617,8 +626,8 @@ Halo2dResult run_halo2d(const Halo2dConfig& cfg) {
   }
   out.verified = ok;
   out.halo_puts = 4ull * n * cfg.iterations;
-  out.sim_time_us = to_us(cluster.sim().now() - t_start);
-  out.events_executed = cluster.sim().events_executed();
+  out.sim_time_us = to_us(cluster.now() - t_start);
+  out.events_executed = cluster.events_executed();
   return out;
 }
 

@@ -43,6 +43,9 @@ struct GupsConfig {
   std::uint64_t seed = 1;
   /// Outstanding puts per origin in kPutNotify mode.
   std::uint32_t window = 8;
+  /// Event-engine worker threads (see ClusterConfig::threads). Results
+  /// are byte-identical for any value.
+  int threads = 1;
 };
 
 struct GupsResult {
@@ -82,6 +85,9 @@ struct Halo2dConfig {
   std::uint32_t ny = 8;  // interior cells per PE, y
   std::uint32_t iterations = 4;
   std::uint64_t seed = 1;
+  /// Event-engine worker threads (see ClusterConfig::threads). Results
+  /// are byte-identical for any value.
+  int threads = 1;
 };
 
 struct Halo2dResult {

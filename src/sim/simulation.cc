@@ -58,4 +58,44 @@ bool Simulation::run_until_condition(const std::function<bool()>& predicate) {
   return predicate();
 }
 
+Simulation::WindowResult Simulation::run_window(
+    SimTime cap, const std::function<bool()>* condition) {
+  WindowResult out;
+  EventQueue::Popped popped;
+  // Hot path of every parallel round: inspect-and-pop fused into one
+  // queue call instead of the next_time()/step() double scan.
+  for (;;) {
+    if (events_executed_ >= event_limit_) {
+      // Trip only when a sub-cap event is actually pending, exactly as
+      // step() would have (the event stays queued).
+      if (queue_.empty() || queue_.next_time() >= cap) break;
+      if (!event_limit_hit_) {
+        PG_ERROR("sim",
+                 "event limit tripped: %llu events executed, t=%lld ps; "
+                 "run_window returns early (raise with set_event_limit)",
+                 static_cast<unsigned long long>(events_executed_),
+                 static_cast<long long>(now_));
+      }
+      event_limit_hit_ = true;
+      break;
+    }
+    if (!queue_.pop_if_before(cap, &popped)) break;
+    assert(popped.time >= now_ && "event queue produced time travel");
+    now_ = popped.time;
+    ++events_executed_;
+    popped.fn();
+    ++out.executed;
+    if (condition != nullptr && (*condition)()) {
+      out.fired = true;
+      break;
+    }
+  }
+  return out;
+}
+
+SimTime Simulation::step_one() {
+  if (!step()) return -1;
+  return now_;
+}
+
 }  // namespace pg::sim

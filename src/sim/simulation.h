@@ -1,8 +1,15 @@
 // The simulation kernel: a clock plus an event queue.
 //
 // Every model component holds a Simulation& and expresses behaviour as
-// events (schedule / schedule_at). The kernel is strictly single-threaded;
-// determinism comes from the (time, seq) total order in EventQueue.
+// events (schedule / schedule_at). A Simulation executes on one thread
+// at a time; determinism comes from the birth-key total order in
+// EventQueue. In the classic configuration there is a single Simulation
+// and run()/run_until() drive it directly. In sharded configurations
+// (sim/parallel.h) each shard owns one Simulation and a ShardGroup
+// coordinates them: the group calls run_window()/step_one() and moves
+// the clock across synchronization fences with fence_now(); events
+// crossing shards enter through schedule_admitted() carrying the
+// sender's birth stamp.
 #pragma once
 
 #include <cstdint>
@@ -24,12 +31,13 @@ class Simulation {
 
   /// Schedules `fn` to run `delay` after the current time.
   EventId schedule(SimDuration delay, EventFn fn) {
-    return queue_.schedule_at(now_ + delay, std::move(fn));
+    return queue_.schedule_at(now_ + delay, now_, std::move(fn));
   }
 
   /// Schedules `fn` at an absolute timestamp (must be >= now()).
   EventId schedule_at(SimTime when, EventFn fn) {
-    return queue_.schedule_at(when < now_ ? now_ : when, std::move(fn));
+    return queue_.schedule_at(when < now_ ? now_ : when, now_,
+                              std::move(fn));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -61,6 +69,69 @@ class Simulation {
   /// accidental event storms in model bugs.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
   bool event_limit_hit() const { return event_limit_hit_; }
+
+  // --- Sharded execution surface (driven by sim::ShardGroup) ---------
+
+  /// Brands this Simulation as shard `tag` of a group: every locally
+  /// minted event id carries the tag, making ids and birth keys unique
+  /// across the group. Call before any event is scheduled.
+  void set_shard_tag(std::uint8_t tag) { queue_.set_owner_tag(tag); }
+
+  /// Wires this shard to the group's shared scheduling counter and
+  /// toggles whether fresh tags consume it (serial coordinator context:
+  /// host code, merged execution) or the shard-local counter (parallel
+  /// rounds). Managed entirely by ShardGroup; see
+  /// EventQueue::set_shared_seq for the ordering rationale.
+  void set_shared_births(std::uint64_t* seq) { queue_.set_shared_seq(seq); }
+  void set_shared_births_active(bool on) { queue_.set_shared_active(on); }
+
+  /// Birth stamp for an event this shard is about to hand to another
+  /// shard: the local clock plus a freshly minted tag. Counts toward
+  /// total_scheduled() here (the event executes remotely but was
+  /// scheduled here, exactly as the single-queue engine would count it).
+  struct Birth {
+    SimTime time;
+    EventId tag;
+  };
+  Birth take_birth() { return Birth{now_, queue_.take_birth_tag()}; }
+
+  /// Enqueues an event admitted from another shard under the sender's
+  /// birth stamp. `when` must not precede the last event this shard
+  /// executed — the ShardGroup's lookahead rule guarantees that.
+  void schedule_admitted(SimTime when, SimTime birth_time, EventId birth_tag,
+                         EventFn fn) {
+    queue_.schedule_admitted(when, birth_time, birth_tag, std::move(fn));
+  }
+
+  /// Runs events with timestamps strictly below `cap`. When `condition`
+  /// is non-null it is evaluated after every event; execution stops
+  /// with fired=true the moment it turns true (the clock then reads the
+  /// firing event's timestamp). Monotone conditions only: once true it
+  /// must stay true until the group observes it.
+  struct WindowResult {
+    std::uint64_t executed = 0;
+    bool fired = false;
+  };
+  WindowResult run_window(SimTime cap,
+                          const std::function<bool()>* condition);
+
+  /// Executes exactly the next pending event (requires !idle()) and
+  /// returns its timestamp, or -1 if the event limit tripped instead.
+  /// The merged-sequential path of ShardGroup interleaves shards one
+  /// event at a time through this.
+  SimTime step_one();
+
+  /// Ordering key of the next pending event. Requires !idle().
+  EventQueue::Key next_key() const { return queue_.next_key(); }
+
+  /// Timestamp of the next pending event. Requires !idle().
+  SimTime next_time() const { return queue_.next_time(); }
+
+  /// Moves the clock forward to a group synchronization point without
+  /// executing anything (never backwards).
+  void fence_now(SimTime t) {
+    if (t > now_) now_ = t;
+  }
 
  private:
   bool step();

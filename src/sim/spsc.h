@@ -1,0 +1,84 @@
+// Bounded lock-free single-producer/single-consumer channel.
+//
+// One exists per directed shard pair in a ShardGroup: the producer is
+// the worker thread executing the sending shard's window, the consumer
+// is the coordinator draining admissions at the next barrier. Capacity
+// is fixed; the rare overflow (a shard emitting more cross-shard events
+// in one window than the ring holds) falls back to a mutex-guarded side
+// vector rather than blocking the simulation — correctness never
+// depends on the ring being large enough, only the fast path does.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pg::sim {
+
+template <typename T>
+class SpscChannel {
+ public:
+  explicit SpscChannel(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer side. Never fails; overflow spills to the locked vector.
+  void push(T item) {
+    // Ring storage materializes on first use: a group allocates N^2
+    // channels but a sparse topology exercises only the linked pairs,
+    // and the consumer never touches ring_ until head_ — stored with
+    // release *after* the allocation — says an item is in it.
+    if (ring_.empty()) ring_.resize(capacity_ + 1);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(head);
+    if (next != tail_.load(std::memory_order_acquire)) {
+      ring_[head] = std::move(item);
+      head_.store(next, std::memory_order_release);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    overflow_.push_back(std::move(item));
+  }
+
+  /// Consumer side: moves everything queued so far into `out`,
+  /// preserving push order (ring first, then overflow — overflow items
+  /// were pushed when the ring was already full, so they are younger
+  /// than everything draining from it).
+  void drain(std::vector<T>& out) {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    while (tail != head) {
+      out.push_back(std::move(ring_[tail]));
+      tail = advance(tail);
+    }
+    tail_.store(tail, std::memory_order_release);
+    if (!overflow_.empty()) {  // racy hint is fine: rechecked under lock
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      for (T& item : overflow_) out.push_back(std::move(item));
+      overflow_.clear();
+    }
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    return i + 1 == ring_.size() ? 0 : i + 1;
+  }
+
+  std::size_t capacity_;
+  std::vector<T> ring_;  // empty until the first push
+  std::atomic<std::size_t> head_{0};  // producer cursor
+  std::atomic<std::size_t> tail_{0};  // consumer cursor
+  std::mutex overflow_mu_;
+  std::vector<T> overflow_;
+};
+
+}  // namespace pg::sim

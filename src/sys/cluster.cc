@@ -1,9 +1,14 @@
 #include "sys/cluster.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "common/log.h"
+#include "obs/flow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pg::sys {
 
@@ -24,6 +29,30 @@ Status check_net(const net::NetConfig& net, const char* which) {
   return Status::ok();
 }
 
+bool obs_attached() {
+  return obs::recorder() != nullptr || obs::metrics() != nullptr ||
+         obs::flows() != nullptr;
+}
+
+/// Test-sweep override: PG_FORCE_THREADS=<n> reruns any cluster that
+/// *can* shard (positive link latencies on every enabled backend) on the
+/// parallel engine with n workers, without touching each call site.
+/// Determinism makes this safe — results are identical by construction —
+/// and it is how CI drives the whole tier-1 suite through the sharded
+/// code paths under TSan. Configs that cannot shard (zero-latency links,
+/// too many nodes) silently keep their configured engine: the knob is
+/// best-effort coverage, not a correctness switch.
+int forced_threads(const ClusterConfig& cfg) {
+  const char* env = std::getenv("PG_FORCE_THREADS");
+  if (env == nullptr) return cfg.threads;
+  const int forced = std::atoi(env);
+  if (forced <= 1) return cfg.threads;
+  if (cfg.node.with_extoll && cfg.extoll_net.latency <= 0) return cfg.threads;
+  if (cfg.node.with_ib && cfg.ib_net.latency <= 0) return cfg.threads;
+  if (cfg.num_nodes > 255) return cfg.threads;
+  return forced;
+}
+
 }  // namespace
 
 Status Cluster::validate(const ClusterConfig& cfg) {
@@ -39,6 +68,28 @@ Status Cluster::validate(const ClusterConfig& cfg) {
   if (cfg.node.with_ib) {
     if (Status s = check_net(cfg.ib_net, "ib"); !s.is_ok()) return s;
   }
+  if (cfg.threads < 1) {
+    return invalid_argument("cluster threads must be >= 1");
+  }
+  if (cfg.threads > 1) {
+    // Sharding across a link needs the link's flight time as lookahead;
+    // a zero-latency link would leave no conservative horizon at all.
+    if (cfg.node.with_extoll && cfg.extoll_net.latency <= 0) {
+      return invalid_argument(
+          "sharded execution (threads > 1) requires positive extoll link "
+          "latency: the latency is the synchronization lookahead");
+    }
+    if (cfg.node.with_ib && cfg.ib_net.latency <= 0) {
+      return invalid_argument(
+          "sharded execution (threads > 1) requires positive ib link "
+          "latency: the latency is the synchronization lookahead");
+    }
+    if (cfg.num_nodes > 255) {
+      return invalid_argument(
+          "sharded execution supports at most 255 nodes (shard tags are "
+          "one byte of the event id)");
+    }
+  }
   return Status::ok();
 }
 
@@ -47,16 +98,64 @@ Cluster::Cluster(const ClusterConfig& cfg) {
     PG_ERROR("sys", "invalid ClusterConfig: %s", s.message().c_str());
     std::abort();
   }
-  sim_.set_event_limit(100'000'000);  // storm guard for runaway models
-  nodes_.reserve(cfg.num_nodes);
-  for (int i = 0; i < cfg.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(sim_, cfg.node,
-                                            "node" + std::to_string(i)));
+  const int threads = forced_threads(cfg);
+  bool shard = threads > 1;
+  if (shard && obs_attached()) {
+    // The observability sinks are explicitly attached, thread-unaware
+    // globals; their hook order would also make trace output depend on
+    // worker timing. Observed runs use the sequential engine.
+    std::fprintf(stderr,
+                 "[sys] observability sinks attached: cluster falls back "
+                 "to the sequential engine (threads=1)\n");
+    shard = false;
   }
+
+  nodes_.reserve(cfg.num_nodes);
+  if (shard) {
+    shard_sims_.reserve(cfg.num_nodes);
+    for (int i = 0; i < cfg.num_nodes; ++i) {
+      auto s = std::make_unique<sim::Simulation>();
+      s->set_shard_tag(static_cast<std::uint8_t>(i));
+      s->set_event_limit(100'000'000);  // storm guard, per shard
+      shard_sims_.push_back(std::move(s));
+    }
+    SimDuration lookahead = 0;
+    if (cfg.node.with_extoll) lookahead = cfg.extoll_net.latency;
+    if (cfg.node.with_ib) {
+      lookahead = lookahead == 0 ? cfg.ib_net.latency
+                                 : std::min(lookahead, cfg.ib_net.latency);
+    }
+    sim::ShardGroup::Options opt;
+    opt.workers = std::min(threads, cfg.num_nodes);
+    opt.lookahead = lookahead;
+    std::vector<sim::Simulation*> shards;
+    shards.reserve(shard_sims_.size());
+    for (auto& s : shard_sims_) shards.push_back(s.get());
+    group_ = std::make_unique<sim::ShardGroup>(std::move(shards), opt);
+    for (int i = 0; i < cfg.num_nodes; ++i) {
+      nodes_.push_back(std::make_unique<Node>(*shard_sims_[i], cfg.node,
+                                              "node" + std::to_string(i)));
+    }
+  } else {
+    sim_.set_event_limit(100'000'000);  // storm guard for runaway models
+    for (int i = 0; i < cfg.num_nodes; ++i) {
+      nodes_.push_back(std::make_unique<Node>(sim_, cfg.node,
+                                              "node" + std::to_string(i)));
+    }
+  }
+
   const auto plan = net::plan_links(cfg.topology, cfg.num_nodes);
+  auto link_sim = [&](int node) -> sim::Simulation& {
+    return shard ? *shard_sims_[static_cast<std::size_t>(node)] : sim_;
+  };
   if (cfg.node.with_extoll) {
     for (const net::LinkPlan& lp : plan) {
-      auto link = std::make_unique<net::NetworkLink>(sim_, cfg.extoll_net);
+      auto link =
+          std::make_unique<net::NetworkLink>(link_sim(lp.a), cfg.extoll_net);
+      if (shard) {
+        link->bind_shards(*group_, lp.a, link_sim(lp.a), lp.b,
+                          link_sim(lp.b));
+      }
       nodes_[lp.a]->extoll().connect(link.get(), 0);
       nodes_[lp.b]->extoll().connect(link.get(), 1);
       nodes_[lp.a]->extoll().add_route(lp.b, link.get(), 0);
@@ -68,7 +167,12 @@ Cluster::Cluster(const ClusterConfig& cfg) {
   }
   if (cfg.node.with_ib) {
     for (const net::LinkPlan& lp : plan) {
-      auto link = std::make_unique<net::NetworkLink>(sim_, cfg.ib_net);
+      auto link =
+          std::make_unique<net::NetworkLink>(link_sim(lp.a), cfg.ib_net);
+      if (shard) {
+        link->bind_shards(*group_, lp.a, link_sim(lp.a), lp.b,
+                          link_sim(lp.b));
+      }
       nodes_[lp.a]->hca().connect(link.get(), 0);
       nodes_[lp.b]->hca().connect(link.get(), 1);
       ib_routes_.push_back({lp.a, lp.b, Route{link.get(), 0}});
@@ -79,6 +183,35 @@ Cluster::Cluster(const ClusterConfig& cfg) {
 }
 
 Cluster::~Cluster() = default;
+
+sim::Simulation& Cluster::sim() {
+  if (group_) {
+    PG_ERROR("sys",
+             "Cluster::sim() on a sharded cluster: there is no single "
+             "heap; use the run facade or node_sim(i)");
+    std::abort();
+  }
+  return sim_;
+}
+
+sim::Simulation& Cluster::node_sim(int i) {
+  if (i < 0 || i >= num_nodes()) {
+    PG_ERROR("sys", "Cluster::node_sim(%d) out of range [0, %d)", i,
+             num_nodes());
+    std::abort();
+  }
+  return group_ ? *shard_sims_[static_cast<std::size_t>(i)] : sim_;
+}
+
+bool Cluster::run_until_each(std::vector<sim::ShardCond> conds) {
+  if (group_) return group_->run_until_local(std::move(conds));
+  return sim_.run_until_condition([&conds] {
+    for (const sim::ShardCond& c : conds) {
+      if (!c.pred()) return false;
+    }
+    return true;
+  });
+}
 
 Node& Cluster::node(int i) {
   if (i < 0 || i >= num_nodes()) {

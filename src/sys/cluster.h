@@ -3,6 +3,14 @@
 // the paper's experimental setup — two nodes with EXTOLL Galibier
 // cards, two nodes with IB 4X FDR HCAs; larger counts and the ring
 // topology back the multi-node workloads layered on top.
+//
+// With cfg.threads > 1 the cluster runs on the parallel discrete-event
+// engine (sim/parallel.h): every node owns its own event shard and the
+// network links are the shard boundaries, with the smaller of the two
+// backends' flight latencies as the conservative lookahead. Execution
+// is deterministic and byte-identical to the single-threaded engine for
+// any thread count; host code drives both modes through the same
+// facade (now / run_until / run_until_each / run_for).
 #pragma once
 
 #include <memory>
@@ -11,6 +19,7 @@
 #include "common/status.h"
 #include "net/link.h"
 #include "net/topology.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "sys/node.h"
 
@@ -22,6 +31,11 @@ struct ClusterConfig {
   net::NetConfig ib_net;
   int num_nodes = 2;
   net::Topology topology = net::Topology::kPair;
+  /// Worker threads for the event engine. 1 = the classic single-heap
+  /// engine; >1 = one event shard per node, executed by min(threads,
+  /// num_nodes) workers. Requires positive link latency on every
+  /// enabled backend (the latency is the synchronization lookahead).
+  int threads = 1;
 };
 
 class Cluster {
@@ -37,7 +51,19 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Simulation& sim() { return sim_; }
+  /// The single-heap engine. Only meaningful in unsharded mode; aborts
+  /// otherwise — sharded callers go through the facade below or
+  /// node_sim(i).
+  sim::Simulation& sim();
+
+  /// True when the cluster runs on per-node event shards.
+  bool sharded() const { return group_ != nullptr; }
+  sim::ShardGroup* shard_group() { return group_.get(); }
+
+  /// The Simulation driving node `i` (the shared heap when unsharded,
+  /// node i's shard otherwise).
+  sim::Simulation& node_sim(int i);
+
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   /// Bounds-checked: aborts with a diagnostic on a bad index instead of
   /// handing back a dangling reference.
@@ -61,10 +87,42 @@ class Cluster {
   Route extoll_route(int from, int to) const;
   Route ib_route(int from, int to) const;
 
+  // --- Execution facade: identical semantics in both modes -----------
+
+  /// The cluster clock (the group fence time when sharded).
+  SimTime now() const {
+    return group_ ? group_->now() : sim_.now();
+  }
+
   /// Runs until `predicate` holds; returns false if the event queue
-  /// drained or the event limit tripped first.
+  /// drained or the event limit tripped first. The predicate may read
+  /// state anywhere in the cluster; when sharded this runs on the exact
+  /// merged-sequential path.
   bool run_until(const std::function<bool()>& predicate) {
-    return sim_.run_until_condition(predicate);
+    return group_ ? group_->run_until_global(predicate)
+                  : sim_.run_until_condition(predicate);
+  }
+
+  /// Runs until every per-node condition has fired (conds index nodes =
+  /// shards; monotone, node-local predicates only). Equivalent to
+  /// run_until(AND of all), but executes node windows in parallel when
+  /// sharded — use this for the hot multi-node phase loops.
+  bool run_until_each(std::vector<sim::ShardCond> conds);
+
+  /// Runs events for `d` of simulated time and advances the clock to
+  /// now() + d.
+  std::uint64_t run_for(SimDuration d) {
+    if (group_) return group_->run_for(d);
+    return sim_.run_until(sim_.now() + d);
+  }
+
+  /// Determinism fingerprint: total events ever scheduled, summed over
+  /// shards when sharded (identical to the single-heap count).
+  std::uint64_t events_scheduled() const {
+    return group_ ? group_->total_scheduled() : sim_.total_scheduled();
+  }
+  std::uint64_t events_executed() const {
+    return group_ ? group_->events_executed() : sim_.events_executed();
   }
 
  private:
@@ -76,7 +134,9 @@ class Cluster {
   static Route find_route(const std::vector<RouteEntry>& table, int from,
                           int to);
 
-  sim::Simulation sim_;
+  sim::Simulation sim_;  // the single heap (unsharded mode)
+  std::vector<std::unique_ptr<sim::Simulation>> shard_sims_;
+  std::unique_ptr<sim::ShardGroup> group_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<net::NetworkLink>> extoll_links_;
   std::vector<std::unique_ptr<net::NetworkLink>> ib_links_;

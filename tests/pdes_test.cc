@@ -1,0 +1,240 @@
+// Tests for the conservative parallel discrete-event engine: shard
+// boundary edge cases (zero-latency rejection, same-timestamp cross-
+// shard ordering, shard-local cancels), exact-stop semantics of the
+// local-condition wait, and thread-count-independence fingerprints on
+// the real multi-node workloads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "putget/ring_workload.h"
+#include "sim/parallel.h"
+#include "sim/simulation.h"
+#include "sys/cluster.h"
+#include "sys/testbed.h"
+
+namespace pg {
+namespace {
+
+// --- ShardGroup unit tests over bare Simulations ---------------------------
+
+struct TwoShards {
+  sim::Simulation a, b;
+  sim::ShardGroup group;
+
+  explicit TwoShards(int workers, SimDuration lookahead = nanoseconds(100))
+      : group(
+            [this] {
+              a.set_shard_tag(0);
+              b.set_shard_tag(1);
+              return std::vector<sim::Simulation*>{&a, &b};
+            }(),
+            sim::ShardGroup::Options{workers, lookahead, 16}) {}
+};
+
+TEST(ShardGroup, DrainsBothShardsAndFencesClocks) {
+  TwoShards t(2);
+  int ran = 0;
+  t.a.schedule(nanoseconds(10), [&] { ++ran; });
+  t.b.schedule(nanoseconds(250), [&] { ++ran; });
+  t.group.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(t.group.now(), nanoseconds(250));
+  EXPECT_EQ(t.a.now(), nanoseconds(250));  // fenced to the group clock
+  EXPECT_EQ(t.b.now(), nanoseconds(250));
+}
+
+TEST(ShardGroup, CrossShardPostDeliversUnderLookahead) {
+  TwoShards t(2);
+  SimTime delivered_at = -1;
+  // An event on shard a sends to shard b with exactly lookahead flight
+  // time — the legal minimum.
+  t.a.schedule(nanoseconds(50), [&] {
+    const sim::Simulation::Birth birth = t.a.take_birth();
+    t.group.post(0, 1, t.a.now() + nanoseconds(100), birth.time, birth.tag,
+                 [&] { delivered_at = t.b.now(); });
+  });
+  t.group.run();
+  EXPECT_EQ(delivered_at, nanoseconds(150));
+  EXPECT_EQ(t.group.events_executed(), 2u);
+  // The send consumed a scheduling slot on the sender, like the single
+  // heap would have.
+  EXPECT_EQ(t.group.total_scheduled(), 2u);
+}
+
+TEST(ShardGroup, SameTimestampCrossShardOrderIsBirthOrder) {
+  // Receiver-local events and cross-shard admissions landing at the
+  // same timestamp must execute in the order one global scheduling
+  // counter would give: birth time first, then per-shard counter.
+  for (int workers : {1, 2}) {
+    TwoShards t(workers);
+    std::vector<std::string> order;
+    const SimTime target = nanoseconds(500);
+    // Born at t=0 on shard b (before the run): earliest birth.
+    t.b.schedule_at(target, [&] { order.push_back("b-early"); });
+    // Born at t=100 on shard a, crossing shards.
+    t.a.schedule(nanoseconds(100), [&] {
+      const sim::Simulation::Birth birth = t.a.take_birth();
+      t.group.post(0, 1, target, birth.time, birth.tag,
+                   [&] { order.push_back("a-cross"); });
+    });
+    // Born at t=200 on shard b itself: latest birth.
+    t.b.schedule(nanoseconds(200), [&] {
+      t.b.schedule_at(target, [&] { order.push_back("b-late"); });
+    });
+    t.group.run();
+    ASSERT_EQ(order.size(), 3u) << "workers=" << workers;
+    EXPECT_EQ(order[0], "b-early") << "workers=" << workers;
+    EXPECT_EQ(order[1], "a-cross") << "workers=" << workers;
+    EXPECT_EQ(order[2], "b-late") << "workers=" << workers;
+  }
+}
+
+TEST(ShardGroup, RunUntilLocalStopsEveryShardAtLastFire) {
+  for (int workers : {1, 2}) {
+    TwoShards t(workers);
+    bool fire_a = false, fire_b = false;
+    SimTime a_seen_past_fire = -1;
+    t.a.schedule(nanoseconds(300), [&] { fire_a = true; });
+    // Shard a also has later events that must NOT run before the wait
+    // returns (the sequential engine would stop at the last fire).
+    t.a.schedule(nanoseconds(2000), [&] { a_seen_past_fire = t.a.now(); });
+    t.b.schedule(nanoseconds(700), [&] { fire_b = true; });
+    const bool ok = t.group.run_until_local(
+        {{0, [&] { return fire_a; }}, {1, [&] { return fire_b; }}});
+    EXPECT_TRUE(ok) << "workers=" << workers;
+    EXPECT_TRUE(fire_a && fire_b);
+    EXPECT_EQ(a_seen_past_fire, -1) << "workers=" << workers;
+    // Clocks fence at t* = the later fire.
+    EXPECT_EQ(t.group.now(), nanoseconds(700));
+    EXPECT_EQ(t.a.now(), nanoseconds(700));
+    EXPECT_EQ(t.b.now(), nanoseconds(700));
+    t.group.run();  // the deferred event still runs afterwards
+    EXPECT_EQ(a_seen_past_fire, nanoseconds(2000));
+  }
+}
+
+TEST(ShardGroup, RunUntilLocalAlreadyTrueReturnsWithoutExecuting) {
+  TwoShards t(2);
+  int ran = 0;
+  t.a.schedule(nanoseconds(10), [&] { ++ran; });
+  const bool ok = t.group.run_until_local({{0, [] { return true; }}});
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(t.group.now(), 0);
+}
+
+TEST(ShardGroup, RunUntilLocalDrainedReturnsFalse) {
+  TwoShards t(2);
+  bool never = false;
+  t.a.schedule(nanoseconds(10), [] {});
+  EXPECT_FALSE(t.group.run_until_local({{1, [&] { return never; }}}));
+}
+
+TEST(ShardGroup, RunUntilGlobalMatchesMergedOrder) {
+  TwoShards t(2);
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    t.a.schedule(nanoseconds(100 * i), [&] { ++count; });
+    t.b.schedule(nanoseconds(100 * i + 50), [&] { ++count; });
+  }
+  const bool ok = t.group.run_until_global([&] { return count == 4; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 4);
+  // Events interleave a,b,a,b by timestamp: the 4th is b's at 250.
+  EXPECT_EQ(t.group.now(), nanoseconds(250));
+  EXPECT_EQ(t.a.now(), nanoseconds(250));  // fenced
+}
+
+TEST(ShardGroup, RunUntilTimeExecutesInclusiveDeadline) {
+  TwoShards t(2);
+  int count = 0;
+  t.a.schedule(nanoseconds(100), [&] { ++count; });
+  t.b.schedule(nanoseconds(200), [&] { ++count; });
+  t.b.schedule(nanoseconds(201), [&] { ++count; });
+  t.group.run_until_time(nanoseconds(200));
+  EXPECT_EQ(count, 2);  // the event exactly at the deadline ran
+  EXPECT_EQ(t.group.now(), nanoseconds(200));
+  t.group.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ShardGroup, ShardLocalCancelKeepsTombstonesLocal) {
+  TwoShards t(2);
+  int ran = 0;
+  const sim::EventId doomed =
+      t.a.schedule(nanoseconds(100), [&] { ran += 10; });
+  t.a.schedule(nanoseconds(200), [&] { ran += 1; });
+  t.b.schedule(nanoseconds(150), [&] { ran += 100; });
+  EXPECT_TRUE(t.a.cancel(doomed));
+  EXPECT_FALSE(t.a.cancel(doomed)) << "double cancel must be a no-op";
+  // A shard never knows another shard's locally minted ids.
+  EXPECT_FALSE(t.b.cancel(doomed));
+  t.group.run();
+  EXPECT_EQ(ran, 101);
+}
+
+// --- Cluster-level edge cases ----------------------------------------------
+
+TEST(ShardedCluster, ZeroLatencyLinkRejected) {
+  sys::ClusterConfig cfg = sys::default_testbed();
+  cfg.num_nodes = 3;
+  cfg.topology = net::Topology::kRing;
+  cfg.threads = 4;
+  cfg.extoll_net.latency = 0;
+  const Status s = sys::Cluster::validate(cfg);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("lookahead"), std::string::npos);
+  // The same config is fine sequentially (threads=1) — zero-latency
+  // links are only illegal as shard boundaries.
+  cfg.threads = 1;
+  EXPECT_TRUE(sys::Cluster::validate(cfg).is_ok());
+}
+
+TEST(ShardedCluster, ThreadCountValidation) {
+  sys::ClusterConfig cfg = sys::default_testbed();
+  cfg.threads = 0;
+  EXPECT_FALSE(sys::Cluster::validate(cfg).is_ok());
+  cfg.threads = 8;
+  EXPECT_TRUE(sys::Cluster::validate(cfg).is_ok());
+}
+
+// --- Fingerprint equality on the real workload -----------------------------
+
+// The hard gate of the parallel engine: for any thread count, the ring
+// workload's event fingerprint, clock, checksum and delivery counters
+// are identical to the sequential engine's.
+TEST(ShardedCluster, RingFingerprintIndependentOfThreads) {
+  for (const auto backend :
+       {putget::RingBackend::kExtoll, putget::RingBackend::kIb}) {
+    sys::ClusterConfig cfg = sys::default_testbed();
+    cfg.num_nodes = 3;
+    cfg.topology = net::Topology::kRing;
+    putget::RingConfig ring;
+    ring.backend = backend;
+    ring.cells_per_node = 16;
+    ring.iterations = 8;
+    ring.threads = 1;
+    const putget::RingResult seq = putget::run_ring_halo_exchange(cfg, ring);
+    ASSERT_TRUE(seq.verified);
+    for (int threads : {2, 4}) {
+      ring.threads = threads;
+      const putget::RingResult par =
+          putget::run_ring_halo_exchange(cfg, ring);
+      const char* name = putget::ring_backend_name(backend);
+      ASSERT_TRUE(par.verified) << name << " threads=" << threads;
+      EXPECT_EQ(par.checksum, seq.checksum) << name << " t=" << threads;
+      EXPECT_EQ(par.events_scheduled, seq.events_scheduled)
+          << name << " t=" << threads;
+      EXPECT_EQ(par.sim_time_us, seq.sim_time_us) << name << " t=" << threads;
+      EXPECT_EQ(par.delivered, seq.delivered) << name << " t=" << threads;
+      EXPECT_EQ(par.halo_messages, seq.halo_messages)
+          << name << " t=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pg
