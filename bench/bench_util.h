@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/topology.h"
 #include "obs/flow.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -34,10 +35,11 @@ namespace pg::bench {
 /// indented line, machine-parsable) and returns true — main should then
 /// exit 0 without running anything. Call before constructing Session.
 /// Benches that forward Session::threads() to their workloads pass
-/// `threads = true` so the listing advertises the flag.
+/// `threads = true` so the listing advertises the flag; multi-node
+/// benches that honour Session::topology() pass `topology = true`.
 inline bool handle_list_flag(int argc, char** argv, const std::string& bench,
                              const std::vector<std::string>& series,
-                             bool threads = false) {
+                             bool threads = false, bool topology = false) {
   bool found = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) found = true;
@@ -46,6 +48,9 @@ inline bool handle_list_flag(int argc, char** argv, const std::string& bench,
   std::printf("%s\n", bench.c_str());
   for (const std::string& s : series) std::printf("  %s\n", s.c_str());
   if (threads) std::printf("  --threads=N (parallel event engine)\n");
+  if (topology) {
+    std::printf("  --topology=NAME (pair|ring|full-mesh|torus2d|fat-tree)\n");
+  }
   return true;
 }
 
@@ -163,12 +168,21 @@ class Session {
                        a);
           threads_ = 1;
         }
+      } else if (std::strncmp(a, "--topology=", 11) == 0) {
+        auto t = net::parse_topology(a + 11);
+        if (t.is_ok()) {
+          topology_ = *t;
+          has_topology_ = true;
+        } else {
+          std::fprintf(stderr, "ignoring '%s': %s\n", a,
+                       t.status().message().c_str());
+        }
       } else if (std::strcmp(a, "--list") == 0) {
         // Handled by handle_list_flag before the Session exists.
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' (expected --list, --threads=N, "
-                     "--trace=FILE or --json=FILE)\n",
+                     "--topology=NAME, --trace=FILE or --json=FILE)\n",
                      a);
       }
     }
@@ -269,11 +283,20 @@ class Session {
   /// observability sinks, which forces the sequential engine.
   int threads() const { return threads_; }
 
+  /// Wiring shape from --topology=NAME (parse_topology names). Benches
+  /// that sweep multiple node counts pick counts valid for the shape.
+  bool has_topology() const { return has_topology_; }
+  net::Topology topology(net::Topology dflt) const {
+    return has_topology_ ? topology_ : dflt;
+  }
+
  private:
   std::chrono::steady_clock::time_point wall_start_;
   std::string trace_path_;
   std::string json_path_;
   int threads_ = 1;
+  net::Topology topology_ = net::Topology::kRing;
+  bool has_topology_ = false;
   obs::TraceRecorder* recorder_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlowTable* flows_ = nullptr;

@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   if (pg::bench::handle_list_flag(argc, argv, "ext-multinode-ring",
                                    {"extoll[us/iter]", "ib[us/iter]", "extoll msgs", "ib msgs"},
-                                   /*threads=*/true)) {
+                                   /*threads=*/true, /*topology=*/true)) {
     return 0;
   }
   pg::bench::Session session(argc, argv);
@@ -23,15 +23,29 @@ int main(int argc, char** argv) {
   using putget::RingBackend;
   using putget::RingConfig;
   using putget::RingResult;
+  const net::Topology topo = session.topology(net::Topology::kRing);
   bench::print_title(
       "Extension - N-node ring halo exchange, EXTOLL vs InfiniBand",
-      "per-iteration time [us] for one stencil step + halo exchange; "
-      "verified against the host reference");
+      topo == net::Topology::kRing
+          ? std::string("per-iteration time [us] for one stencil step + halo "
+                        "exchange; verified against the host reference")
+          : std::string("per-iteration time [us] for one stencil step + halo "
+                        "exchange over the ") +
+                net::topology_name(topo) +
+                " wiring; verified against the host reference");
+
+  // Node counts valid for the wiring shape: the torus needs a
+  // factorable n >= 4; the logical ring itself runs on any connected
+  // topology (non-adjacent neighbours relay through the fabric).
+  std::vector<int> node_counts = {2, 3, 4};
+  if (topo == net::Topology::kTorus2D) node_counts = {4, 8};
+  if (topo == net::Topology::kFatTree) node_counts = {4, 8};
+  if (topo == net::Topology::kPair) node_counts = {2};
 
   const RingBackend backends[] = {RingBackend::kExtoll, RingBackend::kIb};
   bench::SeriesTable table("nodes", {"extoll[us/iter]", "ib[us/iter]",
                                      "extoll msgs", "ib msgs"});
-  for (int nodes : {2, 3, 4}) {
+  for (int nodes : node_counts) {
     std::vector<double> row;
     std::vector<double> msgs;
     for (RingBackend backend : backends) {
@@ -39,7 +53,7 @@ int main(int argc, char** argv) {
                                    ? sys::extoll_testbed()
                                    : sys::ib_testbed();
       cfg.num_nodes = nodes;
-      cfg.topology = net::Topology::kRing;
+      cfg.topology = topo;
       RingConfig ring;
       ring.backend = backend;
       ring.threads = session.threads();

@@ -28,6 +28,19 @@ enum class Topology {
   /// every other node directly. The shape all-to-all workloads (GUPS,
   /// halo exchange on a process grid) want.
   kFullMesh,
+  /// 2-D torus: nodes on an R x C grid (R, C >= 2, R*C = n, R the
+  /// largest divisor of n with R <= C), each wired to its +1 neighbour
+  /// in both dimensions with wraparound. Non-adjacent pairs are reached
+  /// by dimension-order (column-first) routing through the intermediate
+  /// nodes' NICs. A dimension of extent 2 degenerates to the documented
+  /// reversed-pair double link, exactly like the two-node ring.
+  kTorus2D,
+  /// Two-level fat tree: n terminals under ceil(n/h) leaf switches
+  /// (h = ceil(sqrt(n)) terminals per leaf), every leaf wired to every
+  /// one of the h spine switches. Terminals route up/down: up to the
+  /// spine chosen by the destination id, down to the destination's
+  /// leaf. The only topology with dedicated switch vertices.
+  kFatTree,
 };
 
 inline const char* topology_name(Topology t) {
@@ -35,8 +48,70 @@ inline const char* topology_name(Topology t) {
     case Topology::kPair: return "pair";
     case Topology::kRing: return "ring";
     case Topology::kFullMesh: return "full-mesh";
+    case Topology::kTorus2D: return "torus2d";
+    case Topology::kFatTree: return "fat-tree";
   }
-  return "?";
+  return "?";  // unreachable: the switch covers every enumerator
+}
+
+/// Parses a `topology_name` back into the enumerator. Accepts exactly
+/// the names `topology_name` produces.
+inline Result<Topology> parse_topology(const std::string& name) {
+  for (Topology t : {Topology::kPair, Topology::kRing, Topology::kFullMesh,
+                     Topology::kTorus2D, Topology::kFatTree}) {
+    if (name == topology_name(t)) return t;
+  }
+  return invalid_argument(
+      "unknown topology '" + name +
+      "' (expected pair, ring, full-mesh, torus2d or fat-tree)");
+}
+
+/// The torus grid for `num_nodes`: R = the largest divisor with
+/// R <= sqrt(n) and R >= 2, C = n / R. Errors when no such factoring
+/// exists (n < 4 or n has no divisor pair with both sides >= 2, e.g.
+/// primes) — the dimension validation the torus plan runs on.
+struct TorusDims {
+  int rows = 0;
+  int cols = 0;
+};
+inline Result<TorusDims> torus_dims(int num_nodes) {
+  if (num_nodes < 4) {
+    return invalid_argument("torus2d needs at least 4 nodes (2x2), got " +
+                            std::to_string(num_nodes));
+  }
+  int rows = 0;
+  for (int r = 2; r * r <= num_nodes; ++r) {
+    if (num_nodes % r == 0) rows = r;
+  }
+  if (rows == 0) {
+    return invalid_argument(
+        "torus2d cannot factor " + std::to_string(num_nodes) +
+        " nodes into an RxC grid with both dimensions >= 2");
+  }
+  return TorusDims{rows, num_nodes / rows};
+}
+
+/// The fat-tree shape for `num_nodes` terminals: h = ceil(sqrt(n)) is
+/// both the per-leaf terminal capacity (arity down) and the spine count
+/// (arity up), so leaves = ceil(n / h) and the bisection keeps up/down
+/// capacity balanced.
+struct FatTreeShape {
+  int half_arity = 0;  // h: terminals per leaf = spines per leaf
+  int leaves = 0;
+  int spines = 0;
+};
+inline Result<FatTreeShape> fat_tree_shape(int num_nodes) {
+  if (num_nodes < 2) {
+    return invalid_argument("fat-tree needs at least 2 terminals, got " +
+                            std::to_string(num_nodes));
+  }
+  int h = 1;
+  while (h * h < num_nodes) ++h;
+  FatTreeShape shape;
+  shape.half_arity = h;
+  shape.leaves = (num_nodes + h - 1) / h;
+  shape.spines = h;
+  return shape;
 }
 
 /// One physical link to create: `a` attaches at side 0, `b` at side 1.
@@ -60,6 +135,27 @@ inline std::vector<LinkPlan> plan_links(Topology t, int num_nodes) {
       for (int i = 0; i < num_nodes; ++i) {
         for (int j = i + 1; j < num_nodes; ++j) plan.push_back({i, j});
       }
+      break;
+    case Topology::kTorus2D: {
+      // Row ring then column ring per node, in node order — mirrors the
+      // ring convention (i, i+1). An extent-2 dimension produces the
+      // reversed-pair double link the ring's n = 2 case documents.
+      auto dims = torus_dims(num_nodes);
+      if (!dims.is_ok()) break;  // validate_plan reports the error
+      const int R = dims->rows, C = dims->cols;
+      for (int r = 0; r < R; ++r) {
+        for (int c = 0; c < C; ++c) {
+          const int id = r * C + c;
+          plan.push_back({id, r * C + (c + 1) % C});
+          plan.push_back({id, ((r + 1) % R) * C + c});
+        }
+      }
+      break;
+    }
+    case Topology::kFatTree:
+      // Fat-tree links touch switch vertices, which don't exist at the
+      // (terminal-only) topology layer; net/fabric.h builds the full
+      // plan including leaves and spines.
       break;
   }
   return plan;
@@ -99,8 +195,21 @@ inline Status validate_links(int num_nodes, const std::vector<LinkPlan>& plan) {
   return Status::ok();
 }
 
-/// Validates the plan a (topology, num_nodes) pair generates.
+/// Validates the plan a (topology, num_nodes) pair generates. The torus
+/// first checks its dimension factoring, the fat tree its shape (their
+/// wiring is correct by construction given a valid shape).
 inline Status validate_plan(Topology t, int num_nodes) {
+  if (t == Topology::kTorus2D) {
+    if (auto dims = torus_dims(num_nodes); !dims.is_ok()) {
+      return dims.status();
+    }
+  }
+  if (t == Topology::kFatTree) {
+    if (auto shape = fat_tree_shape(num_nodes); !shape.is_ok()) {
+      return shape.status();
+    }
+    return Status::ok();  // switch-vertex edges validate in net/fabric.h
+  }
   return validate_links(num_nodes, plan_links(t, num_nodes));
 }
 

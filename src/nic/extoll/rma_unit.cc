@@ -87,16 +87,22 @@ void ExtollNic::connect(net::NetworkLink* link, int side) {
     link_ = link;
     link_side_ = side;
   }
-  link->attach(side, [this, link, side](std::vector<std::uint8_t> bytes) {
-    on_frame(link, side, std::move(bytes));
+  link->attach(side, [this, link, side](std::vector<std::uint8_t> bytes,
+                                        net::FrameMeta meta) {
+    on_frame(link, side, std::move(bytes), meta);
   });
 }
 
-void ExtollNic::add_route(int dst_node, net::NetworkLink* link, int side) {
+Status ExtollNic::add_route(int dst_node, net::NetworkLink* link, int side) {
   for (const auto& [node, route] : routes_) {
-    if (node == dst_node) return;  // first route wins
+    if (node == dst_node) {
+      return invalid_argument(
+          name_ + ": duplicate route for node " + std::to_string(dst_node) +
+          " (the route pass must resolve each destination to one next hop)");
+    }
   }
   routes_.push_back({dst_node, Route{link, side}});
+  return Status::ok();
 }
 
 ExtollNic::Route ExtollNic::route_for(std::int32_t dst_node) const {
@@ -253,6 +259,8 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
     std::uint64_t issued = 0;  // bytes whose DMA pull has been started
     std::function<void()> step;
   };
+  // Every segment frame carries the routing metadata (each is a
+  // separate frame on the wire, so each must steer at relays).
   auto job = std::make_shared<Job>();
   job->wr = wr;
   job->src = src_addr;
@@ -288,12 +296,11 @@ void ExtollNic::execute_put(const WorkRequest& wr, Addr src_addr) {
                 f.notify_completer = job->wr.notify_completer;
                 f.last = last;
                 f.payload = std::move(data);
-                assert(job->route.link && "EXTOLL NIC not connected");
                 // The last segment carries the lifecycle across the
                 // wire; requester_finished (same instant) closes the
                 // nic_fetch stage, so wire begins exactly here.
-                job->route.link->send(job->route.side, f.encode(),
-                                      last ? job->flow : 0);
+                originate(job->route, f, job->wr.dst_node,
+                          last ? job->flow : 0);
                 if (last) {
                   requester_finished(job->wr);
                   job->step = nullptr;  // break the cycle
@@ -314,10 +321,20 @@ void ExtollNic::execute_get(const WorkRequest& wr) {
   f.dst_nla = wr.dst_nla;  // our local destination
   f.notify_completer = wr.notify_completer;
   f.last = true;
-  const Route route = route_for(wr.dst_node);
-  assert(route.link && "EXTOLL NIC not connected");
-  route.link->send(route.side, f.encode(), ports_[wr.port].flow);
+  originate(route_for(wr.dst_node), f, wr.dst_node, ports_[wr.port].flow);
   requester_finished(wr);
+}
+
+void ExtollNic::originate(const Route& route, const Frame& f,
+                          std::int32_t dst_node, obs::FlowId flow) {
+  assert(route.link && "EXTOLL NIC not connected");
+  net::FrameMeta meta;
+  if (dst_node >= 0) meta.dst_node = static_cast<std::int16_t>(dst_node);
+  if (node_id_ >= 0) meta.src_node = static_cast<std::int16_t>(node_id_);
+  std::vector<std::uint8_t> bytes = f.encode();
+  ++totals_.frames_originated;
+  totals_.bytes_originated += bytes.size();
+  route.link->send(route.side, std::move(bytes), flow, meta);
 }
 
 void ExtollNic::requester_finished(const WorkRequest& wr) {
@@ -350,7 +367,23 @@ void ExtollNic::requester_finished(const WorkRequest& wr) {
 // Completer / responder.
 
 void ExtollNic::on_frame(net::NetworkLink* link, int side,
-                         std::vector<std::uint8_t> bytes) {
+                         std::vector<std::uint8_t> bytes,
+                         net::FrameMeta meta) {
+  if (meta.dst_node >= 0 && node_id_ >= 0 && meta.dst_node != node_id_) {
+    // NIC-as-router relay: the frame is for another terminal. Forward
+    // it un-decoded (cut-through; the per-hop cost is the egress link's
+    // serialization + flight latency), re-attaching any lifecycle the
+    // frame carries so its wire stage spans the whole routed path.
+    const obs::FlowId flow = net::claim_forwarded_flow(link, side, meta);
+    const Route out = route_for(meta.dst_node);
+    assert(out.link && "relay without an egress link");
+    ++totals_.frames_forwarded;
+    totals_.bytes_forwarded += bytes.size();
+    out.link->send(out.side, std::move(bytes), flow, meta);
+    return;
+  }
+  ++totals_.frames_delivered;
+  totals_.bytes_delivered += bytes.size();
   auto frame = Frame::decode(bytes);
   if (!frame.is_ok()) {
     ++protocol_violations_;
@@ -371,7 +404,7 @@ void ExtollNic::on_frame(net::NetworkLink* link, int side,
       handle_put_segment(*frame, flow);
       break;
     case Frame::Kind::kGetRequest:
-      handle_get_request(*frame, link, side, flow);
+      handle_get_request(*frame, link, side, meta, flow);
       break;
     case Frame::Kind::kGetResponse:
       handle_get_response(*frame, flow);
@@ -429,7 +462,8 @@ void ExtollNic::handle_put_segment(const Frame& f, obs::FlowId flow) {
 }
 
 void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
-                                   int side, obs::FlowId flow) {
+                                   int side, net::FrameMeta meta,
+                                   obs::FlowId flow) {
   auto src =
       atu_.translate(f.src_nla, f.total_size, mem::Access::kRead);
   if (!src.is_ok()) {
@@ -438,11 +472,15 @@ void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
     return;
   }
   // The completer pulls the data and hands it to the responder, which
-  // streams response segments back to the origin over the arrival link.
+  // streams response segments back to the requesting terminal — routed
+  // home when the request names one (on direct-attached pairs the route
+  // resolves to the arrival link, the legacy behaviour), otherwise over
+  // the arrival link.
   struct Job {
     Frame req;
     Addr src;
     Route route;
+    std::int32_t reply_to = -1;
     obs::FlowId flow = 0;
     std::uint64_t sent = 0;
     std::function<void()> step;
@@ -451,6 +489,10 @@ void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
   job->req = f;
   job->src = *src;
   job->route = Route{link, side};
+  if (meta.src_node >= 0 && node_id_ >= 0) {
+    job->route = route_for(meta.src_node);
+    job->reply_to = meta.src_node;
+  }
   job->flow = flow;
   job->step = [this, job] {
     const std::uint64_t offset = job->sent;
@@ -489,8 +531,8 @@ void ExtollNic::handle_get_request(const Frame& f, net::NetworkLink* link,
                   obs::flow_stage(job->flow, name_.c_str(), "nic_fetch",
                                   sim_.now());
                 }
-                job->route.link->send(job->route.side, resp.encode(),
-                                      last ? job->flow : 0);
+                originate(job->route, resp, job->reply_to,
+                          last ? job->flow : 0);
                 if (last) job->step = nullptr;
               });
         },

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "mem/allocator.h"
 #include "mem/memory_domain.h"
+#include "net/fabric.h"
 #include "net/link.h"
 #include "obs/flow.h"
 #include "nic/extoll/atu.h"
@@ -81,10 +82,21 @@ class ExtollNic : public pcie::Endpoint {
   /// NIC into a multi-node fabric and are reached via add_route.
   void connect(net::NetworkLink* link, int side);
 
-  /// Declares that frames for `dst_node` leave through (`link`, `side`).
-  /// First route registered for a node wins (deterministic under
-  /// redundant topologies such as the two-node ring).
-  void add_route(int dst_node, net::NetworkLink* link, int side);
+  /// Declares that frames for `dst_node` leave through (`link`, `side`)
+  /// — a next-hop binding, not a path: multi-hop destinations point at
+  /// the first link of the route and intermediate NICs relay. A second
+  /// registration for the same node is a hard error (it would silently
+  /// shadow the first under the old first-wins fill); redundant
+  /// topologies like the two-node ring stay legal because the central
+  /// route pass in sys/Cluster resolves them to ONE next hop per
+  /// destination before calling this.
+  Status add_route(int dst_node, net::NetworkLink* link, int side);
+
+  /// This NIC's terminal id in the fabric (stamped into outgoing frame
+  /// metadata so relays can steer and get responses can route home).
+  /// Unset (-1) preserves the direct-attached testbed behaviour.
+  void set_node_id(int id) { node_id_ = id; }
+  int node_id() const { return node_id_; }
 
   // --- driver-level API (state only; callers charge CPU time) --------------
 
@@ -118,6 +130,12 @@ class ExtollNic : public pcie::Endpoint {
   std::uint64_t translation_faults() const { return translation_faults_; }
   std::uint64_t puts_completed() const { return puts_completed_; }
   std::uint64_t gets_completed() const { return gets_completed_; }
+
+  /// Frame-conservation totals (originated = first-hop sends, forwarded
+  /// = relayed frames for other terminals, delivered = frames consumed
+  /// here). Byte counts are encoded frame bytes, matching the link
+  /// counters, so fabric-wide reconciliation is exact.
+  const net::FabricTotals& fabric_totals() const { return totals_; }
 
   // --- pcie::Endpoint -------------------------------------------------------
   void inbound_write(mem::Addr addr,
@@ -185,11 +203,18 @@ class ExtollNic : public pcie::Endpoint {
   void execute_get(const WorkRequest& wr);
   void requester_finished(const WorkRequest& wr);
   void on_frame(net::NetworkLink* link, int side,
-                std::vector<std::uint8_t> bytes);
+                std::vector<std::uint8_t> bytes, net::FrameMeta meta);
+  /// First-hop transmit: stamps routing metadata, counts origination,
+  /// and hands the encoded frame to the route's link.
+  void originate(const Route& route, const Frame& f, std::int32_t dst_node,
+                 obs::FlowId flow);
   void handle_put_segment(const Frame& f, obs::FlowId flow);
-  /// Get responses stream back over the link the request arrived on.
+  /// Get responses route back to the requesting terminal when the
+  /// request carried one (meta.src_node >= 0); direct-attached requests
+  /// keep the legacy reply-on-arrival-link path, which routed adjacent
+  /// traffic also reduces to.
   void handle_get_request(const Frame& f, net::NetworkLink* link, int side,
-                          obs::FlowId flow);
+                          net::FrameMeta meta, obs::FlowId flow);
   void handle_get_response(const Frame& f, obs::FlowId flow);
 
   /// DMA-writes a notification into `queue` (posted; ordered behind the
@@ -210,7 +235,9 @@ class ExtollNic : public pcie::Endpoint {
   Atu atu_;
   net::NetworkLink* link_ = nullptr;  // default peer (first connect)
   int link_side_ = 0;
-  std::vector<std::pair<int, Route>> routes_;  // insertion-ordered, first wins
+  int node_id_ = -1;
+  std::vector<std::pair<int, Route>> routes_;  // insertion-ordered next hops
+  net::FabricTotals totals_;
 
   std::vector<PortState> ports_;
   std::deque<WorkRequest> requester_fifo_;

@@ -96,9 +96,31 @@ void Hca::connect(net::NetworkLink* link, int side) {
     link_ = link;
     link_side_ = side;
   }
-  link->attach(side, [this, link, side](std::vector<std::uint8_t> bytes) {
-    on_frame(link, side, std::move(bytes));
+  link->attach(side, [this, link, side](std::vector<std::uint8_t> bytes,
+                                        net::FrameMeta meta) {
+    on_frame(link, side, std::move(bytes), meta);
   });
+}
+
+Status Hca::add_route(int dst_node, net::NetworkLink* link, int side) {
+  for (const auto& [node, route] : routes_) {
+    if (node == dst_node) {
+      return invalid_argument(
+          name_ + ": duplicate route for node " + std::to_string(dst_node) +
+          " (the route pass must resolve each destination to one next hop)");
+    }
+  }
+  routes_.push_back({dst_node, NodeRoute{link, side}});
+  return Status::ok();
+}
+
+Hca::NodeRoute Hca::route_for(int dst_node) const {
+  if (dst_node >= 0) {
+    for (const auto& [node, route] : routes_) {
+      if (node == dst_node) return route;
+    }
+  }
+  return NodeRoute{link_, link_side_};
 }
 
 void Hca::link_send(const Qp& qp, std::vector<std::uint8_t> bytes,
@@ -106,7 +128,14 @@ void Hca::link_send(const Qp& qp, std::vector<std::uint8_t> bytes,
   net::NetworkLink* link = qp.route_link ? qp.route_link : link_;
   const int side = qp.route_link ? qp.route_side : link_side_;
   assert(link && "HCA not connected");
-  link->send(side, std::move(bytes), flow);
+  net::FrameMeta meta;
+  if (qp.remote_node >= 0) {
+    meta.dst_node = static_cast<std::int16_t>(qp.remote_node);
+  }
+  if (node_id_ >= 0) meta.src_node = static_cast<std::int16_t>(node_id_);
+  ++totals_.frames_originated;
+  totals_.bytes_originated += bytes.size();
+  link->send(side, std::move(bytes), flow, meta);
 }
 
 SimTime Hca::occupy_engine(SimDuration service) {
@@ -175,13 +204,20 @@ Status Hca::connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn) {
 }
 
 Status Hca::connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn,
-                       net::NetworkLink* link, int side) {
+                       net::NetworkLink* link, int side, int remote_node) {
   if (qpn >= qps_.size() || !qps_[qpn].used) {
     return not_found("connect_qp: unknown QP");
+  }
+  if (link != nullptr && qps_[qpn].route_link != nullptr) {
+    return invalid_argument(
+        name_ + ": QP " + std::to_string(qpn) +
+        " is already routed; re-routing a connected QP would silently "
+        "repoint its egress");
   }
   qps_[qpn].remote_qpn = remote_qpn;
   qps_[qpn].route_link = link;
   qps_[qpn].route_side = side;
+  qps_[qpn].remote_node = remote_node;
   return Status::ok();
 }
 
@@ -441,7 +477,21 @@ void Hca::stream_message(std::uint32_t qpn, Frame::Kind kind,
 // Receive side.
 
 void Hca::on_frame(net::NetworkLink* link, int side,
-                   std::vector<std::uint8_t> bytes) {
+                   std::vector<std::uint8_t> bytes, net::FrameMeta meta) {
+  if (meta.dst_node >= 0 && node_id_ >= 0 && meta.dst_node != node_id_) {
+    // HCA-as-router relay: forward un-decoded to the next hop toward
+    // the destination terminal, re-attaching any lifecycle the frame
+    // carries so its wire stage spans the whole routed path.
+    const obs::FlowId flow = net::claim_forwarded_flow(link, side, meta);
+    const NodeRoute out = route_for(meta.dst_node);
+    assert(out.link && "relay without an egress link");
+    ++totals_.frames_forwarded;
+    totals_.bytes_forwarded += bytes.size();
+    out.link->send(out.side, std::move(bytes), flow, meta);
+    return;
+  }
+  ++totals_.frames_delivered;
+  totals_.bytes_delivered += bytes.size();
   auto frame = Frame::decode(bytes);
   if (!frame.is_ok()) {
     PG_ERROR("ib", "%s: undecodable frame", name_.c_str());

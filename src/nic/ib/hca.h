@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "mem/memory_domain.h"
 #include "mem/registration.h"
+#include "net/fabric.h"
 #include "net/link.h"
 #include "nic/ib/wqe.h"
 #include "obs/flow.h"
@@ -89,6 +90,17 @@ class Hca : public pcie::Endpoint {
   /// connect_qp time).
   void connect(net::NetworkLink* link, int side);
 
+  /// Declares that frames for `dst_node` leave through (`link`, `side`)
+  /// — the next-hop binding relays use when a routed frame arrives for
+  /// another terminal. A second registration for the same node is a
+  /// hard error.
+  Status add_route(int dst_node, net::NetworkLink* link, int side);
+
+  /// This HCA's terminal id in the fabric; stamped into outgoing frame
+  /// metadata. Unset (-1) preserves the direct-attached behaviour.
+  void set_node_id(int id) { node_id_ = id; }
+  int node_id() const { return node_id_; }
+
   // --- verbs-level resource API (state only; callers charge CPU time) ------
 
   Result<Mr> reg_mr(mem::Addr base, std::uint64_t length, mem::Access access);
@@ -106,10 +118,13 @@ class Hca : public pcie::Endpoint {
   /// RC pairing (performed out of band on both sides). The default
   /// overload sends through the first-connected link; the routed
   /// overload pins all of the QP's traffic (data, read responses, ACKs)
-  /// to (`link`, `side`), which is what N-node topologies use.
+  /// to first-hop (`link`, `side`) toward `remote_node`, which is what
+  /// N-node topologies use — relays along the way steer by the node id.
+  /// Routing an already-routed QP is a hard error (it would silently
+  /// repoint the connection's egress).
   Status connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn);
   Status connect_qp(std::uint32_t qpn, std::uint32_t remote_qpn,
-                    net::NetworkLink* link, int side);
+                    net::NetworkLink* link, int side, int remote_node = -1);
 
   const HcaConfig& config() const { return cfg_; }
   std::uint64_t cqes_written() const { return cqes_written_; }
@@ -119,6 +134,11 @@ class Hca : public pcie::Endpoint {
   std::uint64_t stamp_errors() const { return stamp_errors_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  /// Frame-conservation totals (originated = first-hop sends incl.
+  /// ACKs, forwarded = relayed frames for other terminals, delivered =
+  /// frames consumed here); byte counts match the link counters.
+  const net::FabricTotals& fabric_totals() const { return totals_; }
 
   // --- pcie::Endpoint (doorbell pages) --------------------------------------
   void inbound_write(mem::Addr addr,
@@ -176,6 +196,7 @@ class Hca : public pcie::Endpoint {
     // Egress route for this QP's frames; nullptr = the HCA default link.
     net::NetworkLink* route_link = nullptr;
     int route_side = 0;
+    int remote_node = -1;  // peer terminal id (routed fabrics only)
     // Send queue: producer count from doorbells, consumer count in HCA.
     std::uint32_t sq_tail = 0;
     std::uint32_t sq_head = 0;
@@ -208,7 +229,13 @@ class Hca : public pcie::Endpoint {
                       mem::Addr src, std::uint32_t psn, obs::FlowId flow,
                       std::function<void()> done);
   void on_frame(net::NetworkLink* link, int side,
-                std::vector<std::uint8_t> bytes);
+                std::vector<std::uint8_t> bytes, net::FrameMeta meta);
+  /// Next hop for relayed frames; falls back to the default link.
+  struct NodeRoute {
+    net::NetworkLink* link = nullptr;
+    int side = 0;
+  };
+  NodeRoute route_for(int dst_node) const;
   void handle_write_segment(const Frame& f, bool with_imm, obs::FlowId flow);
   void handle_send_segment(const Frame& f, obs::FlowId flow);
   void deliver_send_payload(const Frame& f, obs::FlowId flow);
@@ -242,6 +269,9 @@ class Hca : public pcie::Endpoint {
   mem::RegistrationTable mr_table_;
   net::NetworkLink* link_ = nullptr;
   int link_side_ = 0;
+  int node_id_ = -1;
+  std::vector<std::pair<int, NodeRoute>> routes_;  // insertion-ordered
+  net::FabricTotals totals_;
 
   std::vector<Qp> qps_;
   std::vector<Cq> cqs_;

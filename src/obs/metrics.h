@@ -89,6 +89,22 @@ class Log2Histogram {
   /// occupied bucket, p=1 the last.
   std::uint64_t percentile(double p) const;
 
+  /// Folds `other` into this histogram bucket-wise. Exact: the result
+  /// is identical to recording both sample streams into one histogram.
+  /// Used to aggregate per-link distributions (e.g. queue depths kept
+  /// passively in LinkDirStats) into a registry-level instrument.
+  void merge(const Log2Histogram& other) {
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+      count_ += other.count_;
+      sum_ += other.sum_;
+    }
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;

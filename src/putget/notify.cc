@@ -113,12 +113,14 @@ Status NotifyDomain::setup_ib() {
       if (!ea.is_ok()) return ea.status();
       auto eb = IbHostEndpoint::create(cluster_->node(j), opts);
       if (!eb.is_ok()) return eb.status();
-      // Pin both directions of the pair's traffic to the pair's link.
+      // Pin both directions of the pair's traffic to the pair's
+      // first-hop egress; the remote node id lets the fabric relay the
+      // frames when the peers are not adjacent.
       Status sa = cluster_->node(i).hca().connect_qp(
-          ea->qp().qpn, eb->qp().qpn, ra.link, ra.side);
+          ea->qp().qpn, eb->qp().qpn, ra.link, ra.side, j);
       if (!sa.is_ok()) return sa;
       Status sb = cluster_->node(j).hca().connect_qp(
-          eb->qp().qpn, ea->qp().qpn, rb.link, rb.side);
+          eb->qp().qpn, ea->qp().qpn, rb.link, rb.side, i);
       if (!sb.is_ok()) return sb;
       const int idx = static_cast<int>(pairs_.size());
       pairs_.emplace_back();
@@ -762,10 +764,10 @@ Result<IbHostEndpoint*> NotifyDomain::device_endpoint(int from, int to) {
   auto eb = IbHostEndpoint::create(cluster_->node(to), tgt);
   if (!eb.is_ok()) return eb.status();
   Status sa = cluster_->node(from).hca().connect_qp(
-      ea->qp().qpn, eb->qp().qpn, ra.link, ra.side);
+      ea->qp().qpn, eb->qp().qpn, ra.link, ra.side, to);
   if (!sa.is_ok()) return sa;
   Status sb = cluster_->node(to).hca().connect_qp(eb->qp().qpn, ea->qp().qpn,
-                                                  rb.link, rb.side);
+                                                  rb.link, rb.side, from);
   if (!sb.is_ok()) return sb;
   device_pairs_.emplace_back(std::pair<int, int>{from, to}, Pair{});
   Pair& pr = device_pairs_.back().second;

@@ -272,8 +272,11 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
   RingResult out;
   out.iterations = ring.iterations;
   out.cells_per_node = ring.cells_per_node;
-  if (cfg.topology != net::Topology::kRing) {
-    PG_ERROR("putget", "ring workload needs the ring topology");
+  if (cfg.topology == net::Topology::kPair && cfg.num_nodes > 2) {
+    // The logical ring runs over node ids; any connected topology can
+    // carry it (non-adjacent neighbours relay through the fabric), but
+    // the pair topology's disjoint pairs cannot.
+    PG_ERROR("putget", "ring workload needs a connected topology");
     return out;
   }
   const bool want_extoll = ring.backend == RingBackend::kExtoll;
@@ -350,14 +353,16 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
       auto ea = IbHostEndpoint::create(cluster.node(a), opts);
       auto eb = IbHostEndpoint::create(cluster.node(b), opts);
       if (!ea.is_ok() || !eb.is_ok()) return out;
-      // Pin both directions of the edge's traffic to the edge's link.
+      // Pin both directions of the edge's traffic to its first-hop
+      // egress; the peer node id lets the fabric relay frames when the
+      // logical-ring neighbours are not physically adjacent.
       const sys::Cluster::Route ra = cluster.ib_route(a, b);
       const sys::Cluster::Route rb = cluster.ib_route(b, a);
       if (ra.link == nullptr || rb.link == nullptr) return out;
       (void)cluster.node(a).hca().connect_qp(ea->qp().qpn, eb->qp().qpn,
-                                             ra.link, ra.side);
+                                             ra.link, ra.side, b);
       (void)cluster.node(b).hca().connect_qp(eb->qp().qpn, ea->qp().qpn,
-                                             rb.link, rb.side);
+                                             rb.link, rb.side, a);
       ib_edges.emplace_back(std::move(*ea), std::move(*eb));
     }
   }

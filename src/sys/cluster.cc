@@ -1,6 +1,7 @@
 #include "sys/cluster.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -144,40 +145,114 @@ Cluster::Cluster(const ClusterConfig& cfg) {
     }
   }
 
-  const auto plan = net::plan_links(cfg.topology, cfg.num_nodes);
-  auto link_sim = [&](int node) -> sim::Simulation& {
-    return shard ? *shard_sims_[static_cast<std::size_t>(node)] : sim_;
-  };
-  if (cfg.node.with_extoll) {
-    for (const net::LinkPlan& lp : plan) {
-      auto link =
-          std::make_unique<net::NetworkLink>(link_sim(lp.a), cfg.extoll_net);
-      if (shard) {
-        link->bind_shards(*group_, lp.a, link_sim(lp.a), lp.b,
-                          link_sim(lp.b));
-      }
-      nodes_[lp.a]->extoll().connect(link.get(), 0);
-      nodes_[lp.b]->extoll().connect(link.get(), 1);
-      nodes_[lp.a]->extoll().add_route(lp.b, link.get(), 0);
-      nodes_[lp.b]->extoll().add_route(lp.a, link.get(), 1);
-      extoll_routes_.push_back({lp.a, lp.b, Route{link.get(), 0}});
-      extoll_routes_.push_back({lp.b, lp.a, Route{link.get(), 1}});
-      extoll_links_.push_back(std::move(link));
+  // The one route-computation pass: build the fabric graph, compute the
+  // per-vertex next-hop tables, and (below) push next-hop bindings into
+  // NICs and switch objects. Both backends share the shape.
+  auto plan = net::build_fabric_plan(cfg.topology, cfg.num_nodes);
+  if (!plan.is_ok()) {
+    PG_ERROR("sys", "fabric plan: %s", plan.status().message().c_str());
+    std::abort();
+  }
+  plan_ = std::move(*plan);
+  routes_ = net::compute_routes(plan_);
+  if (cfg.topology != net::Topology::kPair) {
+    // Every routed topology must be connected; only the pair topology
+    // is legitimately partitioned (disjoint two-node islands).
+    if (Status s = net::check_reachable(plan_, routes_); !s.is_ok()) {
+      PG_ERROR("sys", "fabric routes: %s", s.message().c_str());
+      std::abort();
     }
   }
+  if (cfg.node.with_extoll) {
+    wire_backend(Backend::kExtoll, cfg.extoll_net, shard);
+  }
   if (cfg.node.with_ib) {
-    for (const net::LinkPlan& lp : plan) {
-      auto link =
-          std::make_unique<net::NetworkLink>(link_sim(lp.a), cfg.ib_net);
-      if (shard) {
-        link->bind_shards(*group_, lp.a, link_sim(lp.a), lp.b,
-                          link_sim(lp.b));
+    wire_backend(Backend::kIb, cfg.ib_net, shard);
+  }
+}
+
+void Cluster::wire_backend(Backend which, const net::NetConfig& net_cfg,
+                           bool shard) {
+  const bool extoll = which == Backend::kExtoll;
+  const std::string bname = extoll ? "extoll" : "ib";
+  auto& links = extoll ? extoll_links_ : ib_links_;
+  auto& switches = extoll ? extoll_switches_ : ib_switches_;
+  const int n = plan_.num_terminals;
+  for (int v = n; v < plan_.num_vertices(); ++v) {
+    switches.push_back(std::make_unique<net::Switch>(
+        bname + "." + plan_.vertex_name(v), v));
+  }
+  // Switch vertices run on existing node shards (deterministic
+  // assignment; see net::switch_shard), so the shard count, the
+  // lookahead, and the cross-shard channel layout stay exactly the
+  // per-node scheme pdes_test gates.
+  auto vertex_sim = [&](int v) -> sim::Simulation& {
+    return shard
+               ? *shard_sims_[static_cast<std::size_t>(
+                     net::switch_shard(plan_, v))]
+               : sim_;
+  };
+  // Port index of each edge endpoint on its owning switch ([0] = side 0
+  // endpoint), for the next-hop fill below.
+  std::vector<std::array<int, 2>> edge_port(plan_.edges.size(), {-1, -1});
+  for (std::size_t e = 0; e < plan_.edges.size(); ++e) {
+    const net::LinkPlan& ep = plan_.edges[e];
+    auto link = std::make_unique<net::NetworkLink>(vertex_sim(ep.a), net_cfg);
+    if (shard) {
+      link->bind_shards(*group_, net::switch_shard(plan_, ep.a),
+                        vertex_sim(ep.a), net::switch_shard(plan_, ep.b),
+                        vertex_sim(ep.b));
+    }
+    link->set_label(0, bname + "." + plan_.vertex_name(ep.a) + "-" +
+                           plan_.vertex_name(ep.b));
+    link->set_label(1, bname + "." + plan_.vertex_name(ep.b) + "-" +
+                           plan_.vertex_name(ep.a));
+    for (int side = 0; side < 2; ++side) {
+      const int v = side == 0 ? ep.a : ep.b;
+      if (plan_.is_switch(v)) {
+        edge_port[e][side] = switches[v - n]->add_port(link.get(), side);
+      } else if (extoll) {
+        nodes_[v]->extoll().connect(link.get(), side);
+      } else {
+        nodes_[v]->hca().connect(link.get(), side);
       }
-      nodes_[lp.a]->hca().connect(link.get(), 0);
-      nodes_[lp.b]->hca().connect(link.get(), 1);
-      ib_routes_.push_back({lp.a, lp.b, Route{link.get(), 0}});
-      ib_routes_.push_back({lp.b, lp.a, Route{link.get(), 1}});
-      ib_links_.push_back(std::move(link));
+    }
+    links.push_back(std::move(link));
+  }
+  // Next-hop fill. Unreachable destinations (the pair topology's
+  // disjoint islands) simply stay unrouted.
+  for (int t = 0; t < n; ++t) {
+    if (extoll) {
+      nodes_[t]->extoll().set_node_id(t);
+    } else {
+      nodes_[t]->hca().set_node_id(t);
+    }
+    for (int d = 0; d < n; ++d) {
+      if (d == t) continue;
+      const int e = routes_.next_edge(t, d);
+      if (e < 0) continue;
+      net::NetworkLink* l = links[static_cast<std::size_t>(e)].get();
+      const int side = plan_.edges[static_cast<std::size_t>(e)].a == t ? 0 : 1;
+      const Status s = extoll ? nodes_[t]->extoll().add_route(d, l, side)
+                              : nodes_[t]->hca().add_route(d, l, side);
+      if (!s.is_ok()) {
+        PG_ERROR("sys", "route fill: %s", s.message().c_str());
+        std::abort();
+      }
+    }
+  }
+  for (auto& sw : switches) {
+    for (int d = 0; d < n; ++d) {
+      const int e = routes_.next_edge(sw->vertex(), d);
+      if (e < 0) continue;
+      const int side =
+          plan_.edges[static_cast<std::size_t>(e)].a == sw->vertex() ? 0 : 1;
+      const Status s =
+          sw->set_next_hop(d, edge_port[static_cast<std::size_t>(e)][side]);
+      if (!s.is_ok()) {
+        PG_ERROR("sys", "switch route fill: %s", s.message().c_str());
+        std::abort();
+      }
     }
   }
 }
@@ -221,21 +296,103 @@ Node& Cluster::node(int i) {
   return *nodes_[static_cast<std::size_t>(i)];
 }
 
-Cluster::Route Cluster::find_route(const std::vector<RouteEntry>& table,
-                                   int from, int to) {
-  // First entry wins, matching the NIC-level route tables.
-  for (const RouteEntry& e : table) {
-    if (e.from == from && e.to == to) return e.route;
+Cluster::Route Cluster::first_hop(
+    const std::vector<std::unique_ptr<net::NetworkLink>>& links, int from,
+    int to) const {
+  if (links.empty() || from == to) return Route{};
+  if (from < 0 || from >= plan_.num_terminals || to < 0 ||
+      to >= plan_.num_terminals) {
+    return Route{};
   }
-  return Route{};
+  const int e = routes_.next_edge(from, to);
+  if (e < 0) return Route{};
+  const net::LinkPlan& ep = plan_.edges[static_cast<std::size_t>(e)];
+  return Route{links[static_cast<std::size_t>(e)].get(),
+               ep.a == from ? 0 : 1};
 }
 
 Cluster::Route Cluster::extoll_route(int from, int to) const {
-  return find_route(extoll_routes_, from, to);
+  return first_hop(extoll_links_, from, to);
 }
 
 Cluster::Route Cluster::ib_route(int from, int to) const {
-  return find_route(ib_routes_, from, to);
+  return first_hop(ib_links_, from, to);
+}
+
+std::vector<Cluster::LinkReport> Cluster::link_reports(Backend b) const {
+  const auto& links = b == Backend::kExtoll ? extoll_links_ : ib_links_;
+  const double elapsed = static_cast<double>(now());
+  std::vector<LinkReport> out;
+  out.reserve(links.size() * 2);
+  for (const auto& link : links) {
+    for (int side = 0; side < 2; ++side) {
+      const net::LinkDirStats& s = link->dir_stats(side);
+      LinkReport r;
+      r.label = link->label(side);
+      r.frames = s.frames;
+      r.bytes = s.bytes;
+      r.forwarded_frames = s.forwarded_frames;
+      r.forwarded_bytes = s.forwarded_bytes;
+      r.stalls = s.stalls;
+      r.stall_ns = static_cast<double>(to_ns(s.stall_time));
+      r.busy_ns = static_cast<double>(to_ns(s.busy_time));
+      r.utilization =
+          elapsed > 0.0 ? static_cast<double>(s.busy_time) / elapsed : 0.0;
+      r.queue_depth_p99 = s.queue_depth.percentile(0.99);
+      r.queue_depth_max = s.queue_depth.max();
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+net::FabricTotals Cluster::fabric_totals(Backend b) const {
+  net::FabricTotals t;
+  const auto& links = b == Backend::kExtoll ? extoll_links_ : ib_links_;
+  if (links.empty()) return t;
+  for (const auto& node : nodes_) {
+    const net::FabricTotals& n = b == Backend::kExtoll
+                                     ? node->extoll().fabric_totals()
+                                     : node->hca().fabric_totals();
+    t.frames_originated += n.frames_originated;
+    t.bytes_originated += n.bytes_originated;
+    t.frames_forwarded += n.frames_forwarded;
+    t.bytes_forwarded += n.bytes_forwarded;
+    t.frames_delivered += n.frames_delivered;
+    t.bytes_delivered += n.bytes_delivered;
+  }
+  for (const auto& sw :
+       b == Backend::kExtoll ? extoll_switches_ : ib_switches_) {
+    t.frames_forwarded += sw->frames_forwarded();
+    t.bytes_forwarded += sw->bytes_forwarded();
+  }
+  return t;
+}
+
+void Cluster::publish_link_metrics() const {
+  obs::MetricsRegistry* m = obs::metrics();
+  if (m == nullptr) return;
+  for (Backend b : {Backend::kExtoll, Backend::kIb}) {
+    const auto& links = b == Backend::kExtoll ? extoll_links_ : ib_links_;
+    if (links.empty()) continue;
+    const std::string bname = b == Backend::kExtoll ? "extoll" : "ib";
+    obs::Log2Histogram& depth = m->histogram("net." + bname + ".queue_depth");
+    std::uint64_t stalls = 0;
+    for (const LinkReport& r : link_reports(b)) {
+      m->gauge("net." + r.label + ".utilization").set(r.utilization);
+      m->counter("net." + r.label + ".frames").add(r.frames);
+      m->counter("net." + r.label + ".forwarded_frames")
+          .add(r.forwarded_frames);
+      m->counter("net." + r.label + ".stalls").add(r.stalls);
+      stalls += r.stalls;
+    }
+    for (const auto& link : links) {
+      for (int side = 0; side < 2; ++side) {
+        depth.merge(link->dir_stats(side).queue_depth);
+      }
+    }
+    m->counter("net." + bname + ".contention_stalls").add(stalls);
+  }
 }
 
 }  // namespace pg::sys

@@ -1,8 +1,19 @@
 // The simulated testbed: N Nodes joined by EXTOLL and/or InfiniBand
-// links. The default configuration (two nodes, pair topology) mirrors
+// fabrics. The default configuration (two nodes, pair topology) mirrors
 // the paper's experimental setup — two nodes with EXTOLL Galibier
-// cards, two nodes with IB 4X FDR HCAs; larger counts and the ring
-// topology back the multi-node workloads layered on top.
+// cards, two nodes with IB 4X FDR HCAs; larger counts and the routed
+// topologies (ring, full mesh, 2-D torus, fat tree) back the
+// multi-node workloads layered on top.
+//
+// The cluster owns the ONE route-computation pass: it builds the
+// fabric plan (net/fabric.h), computes next-hop tables per vertex, and
+// pushes next-hop bindings into the NICs (add_route / set_node_id) and
+// the fat tree's switch objects. NICs relay frames for other terminals
+// through their next-hop tables, so non-adjacent nodes communicate
+// over multi-hop paths with per-hop serialization + flight latency and
+// genuine shared-link contention; on direct-attached topologies every
+// route is single-hop and behaviour is identical to the pre-fabric
+// link wiring.
 //
 // With cfg.threads > 1 the cluster runs on the parallel discrete-event
 // engine (sim/parallel.h): every node owns its own event shard and the
@@ -17,6 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/fabric.h"
 #include "net/link.h"
 #include "net/topology.h"
 #include "sim/parallel.h"
@@ -78,14 +90,55 @@ class Cluster {
     return ib_links_.empty() ? nullptr : ib_links_.front().get();
   }
 
-  /// Egress route from node `from` to adjacent node `to` (as wired by
-  /// the topology); {nullptr, 0} when the pair is not directly linked.
+  /// First-hop egress from node `from` toward node `to`: the link the
+  /// frame leaves `from` on (the full path may relay through further
+  /// nodes or switches); {nullptr, 0} when `to` is unreachable (the
+  /// pair topology's disjoint pairs) or from == to.
   struct Route {
     net::NetworkLink* link = nullptr;
     int side = 0;
   };
   Route extoll_route(int from, int to) const;
   Route ib_route(int from, int to) const;
+
+  /// The wiring graph and per-vertex next-hop tables (shared by both
+  /// backends — they wire the same shape). net::path_hops(fabric_plan(),
+  /// routes(), i, j) gives a pair's hop count.
+  const net::FabricPlan& fabric_plan() const { return plan_; }
+  const net::RouteTables& routes() const { return routes_; }
+
+  enum class Backend { kExtoll, kIb };
+
+  /// One transmit direction of one physical link, snapshotted against
+  /// the current clock (utilization = serialization occupancy /
+  /// elapsed). Labels are "extoll.n0-n1" style: source vertex first.
+  struct LinkReport {
+    std::string label;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t forwarded_frames = 0;
+    std::uint64_t forwarded_bytes = 0;
+    std::uint64_t stalls = 0;
+    double stall_ns = 0.0;
+    double busy_ns = 0.0;
+    double utilization = 0.0;
+    std::uint64_t queue_depth_p99 = 0;
+    std::uint64_t queue_depth_max = 0;
+  };
+  /// Per-direction reports for every link of `b`, in plan order (side 0
+  /// direction first). Safe once the simulation has quiesced.
+  std::vector<LinkReport> link_reports(Backend b) const;
+
+  /// Frame-conservation totals for `b`, aggregated over the NICs and
+  /// switch objects: sum(link frames) == originated + forwarded and
+  /// delivered == originated whenever the fabric has drained.
+  net::FabricTotals fabric_totals(Backend b) const;
+
+  /// Publishes per-link congestion observability into the attached
+  /// MetricsRegistry (no-op without one): utilization gauges and stall /
+  /// frame counters per direction, plus one merged queue-depth
+  /// histogram per backend. Call once, after the run quiesces.
+  void publish_link_metrics() const;
 
   // --- Execution facade: identical semantics in both modes -----------
 
@@ -126,22 +179,24 @@ class Cluster {
   }
 
  private:
-  struct RouteEntry {
-    int from = 0;
-    int to = 0;
-    Route route;
-  };
-  static Route find_route(const std::vector<RouteEntry>& table, int from,
-                          int to);
+  /// Instantiates one backend's overlay of the fabric plan: a
+  /// NetworkLink per edge (labelled, shard-bound), NIC connects for
+  /// terminal endpoints, switch ports for switch endpoints, and the
+  /// next-hop fill into NICs and switches.
+  void wire_backend(Backend which, const net::NetConfig& net_cfg, bool shard);
+  Route first_hop(const std::vector<std::unique_ptr<net::NetworkLink>>& links,
+                  int from, int to) const;
 
   sim::Simulation sim_;  // the single heap (unsharded mode)
   std::vector<std::unique_ptr<sim::Simulation>> shard_sims_;
   std::unique_ptr<sim::ShardGroup> group_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  net::FabricPlan plan_;
+  net::RouteTables routes_;
   std::vector<std::unique_ptr<net::NetworkLink>> extoll_links_;
   std::vector<std::unique_ptr<net::NetworkLink>> ib_links_;
-  std::vector<RouteEntry> extoll_routes_;
-  std::vector<RouteEntry> ib_routes_;
+  std::vector<std::unique_ptr<net::Switch>> extoll_switches_;
+  std::vector<std::unique_ptr<net::Switch>> ib_switches_;
 };
 
 }  // namespace pg::sys

@@ -78,7 +78,7 @@ TEST(NetworkLink, DeliversFramesInOrderWithLatency) {
   net::NetworkLink link(sim, cfg);
   std::vector<int> received;
   SimTime first_arrival = 0;
-  link.attach(1, [&](std::vector<std::uint8_t> frame) {
+  link.attach(1, [&](std::vector<std::uint8_t> frame, net::FrameMeta) {
     if (received.empty()) first_arrival = sim.now();
     received.push_back(frame[0]);
   });
@@ -97,8 +97,8 @@ TEST(NetworkLink, DirectionsAreIndependent) {
   sim::Simulation sim;
   net::NetworkLink link(sim, net::NetConfig{});
   int got0 = 0, got1 = 0;
-  link.attach(0, [&](std::vector<std::uint8_t>) { ++got0; });
-  link.attach(1, [&](std::vector<std::uint8_t>) { ++got1; });
+  link.attach(0, [&](std::vector<std::uint8_t>, net::FrameMeta) { ++got0; });
+  link.attach(1, [&](std::vector<std::uint8_t>, net::FrameMeta) { ++got1; });
   link.send(0, {1});
   link.send(1, {2});
   link.send(1, {3});
@@ -115,7 +115,7 @@ TEST(NetworkLink, SerializationBoundsThroughput) {
   cfg.header_bytes = 0;
   net::NetworkLink link(sim, cfg);
   SimTime last = 0;
-  link.attach(1, [&](std::vector<std::uint8_t>) { last = sim.now(); });
+  link.attach(1, [&](std::vector<std::uint8_t>, net::FrameMeta) { last = sim.now(); });
   // 10 x 1000 B at 1 GB/s = at least 10 us of wire time.
   for (int i = 0; i < 10; ++i) {
     link.send(0, std::vector<std::uint8_t>(1000, 7));

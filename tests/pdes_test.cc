@@ -236,5 +236,45 @@ TEST(ShardedCluster, RingFingerprintIndependentOfThreads) {
   }
 }
 
+// The same gate over the routed fabric: multi-hop relaying through
+// intermediate NICs (torus) and switch vertices pinned to their
+// deterministic shards (fat tree) must stay byte-identical for any
+// thread count — relay hops ride ordinary link events, so the per-hop
+// flight latency remains a valid conservative lookahead.
+TEST(ShardedCluster, MultiHopFingerprintIndependentOfThreads) {
+  for (const net::Topology topo :
+       {net::Topology::kTorus2D, net::Topology::kFatTree}) {
+    for (const auto backend :
+         {putget::RingBackend::kExtoll, putget::RingBackend::kIb}) {
+      sys::ClusterConfig cfg = sys::default_testbed();
+      cfg.num_nodes = 8;
+      cfg.topology = topo;
+      putget::RingConfig ring;
+      ring.backend = backend;
+      ring.cells_per_node = 16;
+      ring.iterations = 4;
+      ring.threads = 1;
+      const putget::RingResult seq = putget::run_ring_halo_exchange(cfg, ring);
+      ASSERT_TRUE(seq.verified)
+          << net::topology_name(topo) << " "
+          << putget::ring_backend_name(backend);
+      for (int threads : {2, 4}) {
+        ring.threads = threads;
+        const putget::RingResult par =
+            putget::run_ring_halo_exchange(cfg, ring);
+        const std::string name =
+            std::string(net::topology_name(topo)) + " " +
+            putget::ring_backend_name(backend) + " t=" +
+            std::to_string(threads);
+        ASSERT_TRUE(par.verified) << name;
+        EXPECT_EQ(par.checksum, seq.checksum) << name;
+        EXPECT_EQ(par.events_scheduled, seq.events_scheduled) << name;
+        EXPECT_EQ(par.sim_time_us, seq.sim_time_us) << name;
+        EXPECT_EQ(par.delivered, seq.delivered) << name;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pg

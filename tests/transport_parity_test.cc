@@ -3,15 +3,19 @@
 // exactly-once delivery, and every run must be deterministic (the
 // events-scheduled fingerprint and the field checksum repeat bit-for-bit
 // across identical runs).
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/fabric.h"
 #include "obs/trace.h"
 #include "putget/extoll_experiments.h"
 #include "putget/ib_experiments.h"
+#include "putget/notify.h"
 #include "putget/ring_workload.h"
 #include "sys/testbed.h"
 
@@ -132,6 +136,59 @@ TEST(TransportParityTest, PingPongPayloadAndFingerprintBothBackends) {
   EXPECT_TRUE(i1.payload_ok);
   EXPECT_GT(i1.events_scheduled, 0u);
   EXPECT_EQ(i1.events_scheduled, i2.events_scheduled);
+}
+
+// A 3-hop routed put must land the same payload over both fabrics, and
+// the relaying must be visible in the conservation counters.
+TEST(TransportParityTest, ThreeHopPayloadParityBothBackends) {
+  std::array<std::uint64_t, 2> checksum{};
+  int bi = 0;
+  for (RmaBackend backend : {RmaBackend::kExtoll, RmaBackend::kIb}) {
+    sys::ClusterConfig cfg = backend == RmaBackend::kExtoll
+                                 ? sys::extoll_testbed()
+                                 : sys::ib_testbed();
+    cfg.num_nodes = 6;
+    cfg.topology = net::Topology::kRing;
+    sys::Cluster cluster(cfg);
+    // Node 3 is three relay hops from node 0 on a six-node ring.
+    ASSERT_EQ(net::path_hops(cluster.fabric_plan(), cluster.routes(), 0, 3),
+              3);
+    auto d = NotifyDomain::create(cluster, backend);
+    ASSERT_TRUE(d.is_ok()) << d.status().to_string();
+    std::vector<mem::Addr> bases;
+    for (int n = 0; n < 6; ++n) {
+      bases.push_back(cluster.node(n).gpu_heap().alloc(4096, 4096));
+    }
+    ASSERT_TRUE((*d)->register_region(bases, 4096).is_ok());
+    for (int i = 0; i < 8; ++i) {
+      cluster.node(0).memory().write_u64(bases[0] + 256 + 8 * i,
+                                         0x0D0A0000ull + 17 * i);
+    }
+    auto op = (*d)->post_put(0, 3, bases[0] + 256, bases[3] + 256, 64,
+                             Completion::kNotification);
+    ASSERT_TRUE(op.is_ok()) << op.status().to_string();
+    ASSERT_TRUE((*d)->wait_notified(3, 1));
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t v =
+          cluster.node(3).memory().read_u64(bases[3] + 256 + 8 * i);
+      EXPECT_EQ(v, 0x0D0A0000ull + 17 * i) << rma_backend_name(backend);
+      sum = sum * 1315423911ull + v;
+    }
+    checksum[bi++] = sum;
+    // Drain the fabric (the IB ACK is still in flight after the
+    // notification lands) before auditing conservation.
+    ASSERT_TRUE((*d)->quiet(0).is_ok());
+    const net::FabricTotals totals = cluster.fabric_totals(
+        backend == RmaBackend::kExtoll ? sys::Cluster::Backend::kExtoll
+                                       : sys::Cluster::Backend::kIb);
+    EXPECT_GT(totals.frames_forwarded, 0u) << rma_backend_name(backend);
+    EXPECT_EQ(totals.frames_delivered, totals.frames_originated)
+        << rma_backend_name(backend);
+    EXPECT_EQ(totals.bytes_delivered, totals.bytes_originated)
+        << rma_backend_name(backend);
+  }
+  EXPECT_EQ(checksum[0], checksum[1]);
 }
 
 TEST(TransportParityTest, PerNodeTraceTracksAreDistinct) {
