@@ -4,12 +4,21 @@
 // regenerates, the sweep axis, and one column per configuration. Output
 // is whitespace-aligned for humans and trivially machine-parsable.
 //
-// Benches also accept two optional observability flags:
-//   --trace=FILE   write a Chrome trace-event JSON (open in Perfetto),
-//                  including message-lifecycle flow arrows
-//   --json=FILE    write every emitted table plus the metrics snapshot
-//                  and the per-stage message-lifecycle breakdowns
-// Wrap main's body in a Session; with neither flag given the sinks stay
+// Benches also accept optional observability flags:
+//   --trace=FILE          write a Chrome trace-event JSON (open in
+//                         Perfetto), including message-lifecycle flow
+//                         arrows
+//   --json=FILE           write every emitted table plus the metrics
+//                         snapshot, the per-stage message-lifecycle
+//                         breakdowns, and (when sampling is on) the
+//                         telemetry time series
+//   --metrics-every=US    sample sim-time telemetry every US simulated
+//                         microseconds (multi-node benches forward
+//                         Session::sample_every() into ClusterConfig)
+//   --timeseries=FILE     write the sampled time series on its own, as
+//                         deterministic JSON (CI byte-compares this
+//                         across thread counts)
+// Wrap main's body in a Session; with no flag given the sinks stay
 // detached and the stdout table output is byte-identical to a build
 // without observability.
 #pragma once
@@ -22,10 +31,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/units.h"
 #include "net/topology.h"
 #include "obs/flow.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace pg::bench {
@@ -50,6 +61,9 @@ inline bool handle_list_flag(int argc, char** argv, const std::string& bench,
   if (threads) std::printf("  --threads=N (parallel event engine)\n");
   if (topology) {
     std::printf("  --topology=NAME (pair|ring|full-mesh|torus2d|fat-tree)\n");
+  }
+  if (threads || topology) {
+    std::printf("  --metrics-every=US (sim-time telemetry sampling)\n");
   }
   return true;
 }
@@ -168,6 +182,18 @@ class Session {
                        a);
           threads_ = 1;
         }
+      } else if (std::strncmp(a, "--metrics-every=", 16) == 0) {
+        const long us = std::atol(a + 16);
+        if (us < 1) {
+          std::fprintf(stderr,
+                       "ignoring '%s': sample interval must be >= 1 "
+                       "(simulated microseconds)\n",
+                       a);
+        } else {
+          sample_every_ = microseconds(us);
+        }
+      } else if (std::strncmp(a, "--timeseries=", 13) == 0) {
+        timeseries_path_ = a + 13;
       } else if (std::strncmp(a, "--topology=", 11) == 0) {
         auto t = net::parse_topology(a + 11);
         if (t.is_ok()) {
@@ -182,7 +208,8 @@ class Session {
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' (expected --list, --threads=N, "
-                     "--topology=NAME, --trace=FILE or --json=FILE)\n",
+                     "--topology=NAME, --metrics-every=US, --trace=FILE, "
+                     "--timeseries=FILE or --json=FILE)\n",
                      a);
       }
     }
@@ -195,6 +222,13 @@ class Session {
       obs::attach_metrics(metrics_);
       flows_ = new obs::FlowTable();
       obs::attach_flows(flows_);
+    }
+    // Sampling needs the sink; an explicit --timeseries=FILE or any
+    // sink-attaching flag combined with --metrics-every= enables it.
+    if (!timeseries_path_.empty() ||
+        (sample_every_ > 0 && (!trace_path_.empty() || !json_path_.empty()))) {
+      timeseries_ = new obs::TimeSeries();
+      obs::attach_timeseries(timeseries_);
     }
   }
 
@@ -240,6 +274,15 @@ class Session {
         } else {
           std::fputs("{\"flows\":[]}", f);
         }
+        // Sim-time telemetry samples (--metrics-every=).
+        std::fputs(",\"timeseries\":", f);
+        if (timeseries_) {
+          std::string s = timeseries_->snapshot_json();
+          while (!s.empty() && s.back() == '\n') s.pop_back();
+          std::fputs(s.c_str(), f);
+        } else {
+          std::fputs("{\"timeseries\":[]}", f);
+        }
         // Host wall-clock for the whole run: the cheap always-on signal
         // that the simulator itself has not regressed.
         const double wall_ms =
@@ -254,6 +297,15 @@ class Session {
                      json_path_.c_str());
       }
     }
+    if (!timeseries_path_.empty() && timeseries_) {
+      if (FILE* f = std::fopen(timeseries_path_.c_str(), "w")) {
+        timeseries_->write_json(f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write timeseries file '%s'\n",
+                     timeseries_path_.c_str());
+      }
+    }
     if (metrics_) {
       obs::attach_metrics(nullptr);
       delete metrics_;
@@ -261,6 +313,10 @@ class Session {
     if (flows_) {
       obs::attach_flows(nullptr);
       delete flows_;
+    }
+    if (timeseries_) {
+      obs::attach_timeseries(nullptr);
+      delete timeseries_;
     }
   }
 
@@ -278,10 +334,15 @@ class Session {
   }
 
   /// Event-engine worker threads from --threads=N (default 1). Multi-
-  /// node benches forward this into their workload configs; results are
-  /// byte-identical for any value. Note that --trace/--json attach
-  /// observability sinks, which forces the sequential engine.
+  /// node benches forward this into their workload configs; results —
+  /// including trace / metrics / flow / time-series output, which runs
+  /// shard-aware on the parallel engine — are byte-identical for any
+  /// value.
   int threads() const { return threads_; }
+
+  /// Telemetry sample interval from --metrics-every=US (0 = off).
+  /// Multi-node benches forward this into ClusterConfig::sample_every.
+  SimDuration sample_every() const { return sample_every_; }
 
   /// Wiring shape from --topology=NAME (parse_topology names). Benches
   /// that sweep multiple node counts pick counts valid for the shape.
@@ -294,12 +355,15 @@ class Session {
   std::chrono::steady_clock::time_point wall_start_;
   std::string trace_path_;
   std::string json_path_;
+  std::string timeseries_path_;
+  SimDuration sample_every_ = 0;
   int threads_ = 1;
   net::Topology topology_ = net::Topology::kRing;
   bool has_topology_ = false;
   obs::TraceRecorder* recorder_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlowTable* flows_ = nullptr;
+  obs::TimeSeries* timeseries_ = nullptr;
   std::vector<std::pair<std::string, SeriesTable>> tables_;
 };
 

@@ -61,6 +61,7 @@ CaseResult run_case(net::Topology topo, int nodes, RmaBackend backend,
   cfg.num_nodes = nodes;
   cfg.topology = topo;
   cfg.threads = threads;
+  cfg.sample_every = session.sample_every();
   sys::Cluster cluster(cfg);
 
   auto d = NotifyDomain::create(cluster, backend);

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
                                    : sys::ib_testbed();
       cfg.num_nodes = nodes;
       cfg.topology = topo;
+      cfg.sample_every = session.sample_every();
       RingConfig ring;
       ring.backend = backend;
       ring.threads = session.threads();

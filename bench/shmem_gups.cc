@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
     cfg.table_words = 64;
     cfg.zipf_s = zipf;
     cfg.threads = session.threads();
+    cfg.sample_every = session.sample_every();
     const auto r = shmem::run_gups(cfg);
     if (!r.verified) {
       std::fprintf(stderr, "FAILED: %s/%s %u updates: %s\n",

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     cfg.ny = ny;
     cfg.iterations = 6;
     cfg.threads = session.threads();
+    cfg.sample_every = session.sample_every();
     const auto r = shmem::run_halo2d(cfg);
     if (!r.verified || r.notified_total != r.halo_puts) {
       std::fprintf(stderr, "FAILED: %s %ux%u: %s\n",

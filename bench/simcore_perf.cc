@@ -21,6 +21,9 @@
 #include "gpu/assembler.h"
 #include "gpu/device.h"
 #include "mem/sparse_memory.h"
+#include "obs/flow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcie/fabric.h"
 #include "putget/extoll_experiments.h"
 #include "putget/ring_workload.h"
@@ -201,11 +204,12 @@ constexpr SimDuration kPdesLinkLatency = microseconds(2);
 /// workers. The checksum/fingerprint of every run is hard-gated against
 /// threads=1 by the caller: the parallel engine must be byte-equivalent,
 /// not just fast.
-PdesCell run_pdes_once(int nodes, int threads) {
+PdesCell run_pdes_once(int nodes, int threads, bool classic_engine = false) {
   sys::ClusterConfig cfg = sys::extoll_testbed();
   cfg.num_nodes = nodes;
   cfg.topology = net::Topology::kRing;
   cfg.extoll_net.latency = kPdesLinkLatency;
+  cfg.force_classic_engine = classic_engine;
   putget::RingConfig ring;
   ring.backend = putget::RingBackend::kExtoll;
   ring.cells_per_node = kPdesCells;
@@ -265,6 +269,99 @@ std::vector<PdesCell> bench_pdes_matrix() {
   return cells;
 }
 
+// --- Traced scaling -------------------------------------------------
+
+// One cell of the traced matrix: the same ring workload with every
+// observability sink attached (trace + metrics + flows). Before the
+// shard-aware sinks this configuration silently fell back to the
+// sequential engine; that old behavior is kept measurable as the
+// "classic" baseline row (force_classic_engine pins the single heap),
+// and the gate below requires the serialized output of every sink to be
+// byte-identical across the sharded thread counts.
+struct TracedCell {
+  const char* engine = "sharded";
+  int threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;  // vs the sequential classic-engine cell
+};
+
+constexpr int kTracedNodes = 8;
+constexpr int kTracedReps = 7;
+
+double run_pdes_traced_once(int threads, bool classic_engine,
+                            std::string* trace_json,
+                            std::string* metrics_json,
+                            std::string* flow_json) {
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry met;
+  obs::FlowTable flows;
+  obs::attach_recorder(&rec);
+  obs::attach_metrics(&met);
+  obs::attach_flows(&flows);
+  const auto start = Clock::now();
+  const PdesCell c = run_pdes_once(kTracedNodes, threads, classic_engine);
+  const double wall = ms_since(start);
+  (void)c;
+  obs::attach_recorder(nullptr);
+  obs::attach_metrics(nullptr);
+  obs::attach_flows(nullptr);
+  *trace_json = rec.to_json();
+  *metrics_json = met.snapshot_json();
+  *flow_json = flows.snapshot_json();
+  return wall;
+}
+
+/// Traced matrix at the largest node count: the classic single-heap
+/// engine (what an attached sink used to force) as the sequential
+/// baseline, then the sharded engine at one and four workers. The
+/// sharded cells are byte-parity gated against each other: a single
+/// differing byte in any sink's JSON is a determinism failure, exactly
+/// like a checksum mismatch in the untraced matrix. The classic cell is
+/// timing-only — its single global tie-break counter orders
+/// same-timestamp events differently, which is the very reason routed
+/// clusters now shard at every thread count.
+std::vector<TracedCell> bench_pdes_traced() {
+  struct Cfg {
+    const char* engine;
+    int threads;
+    bool classic;
+  };
+  constexpr Cfg kCfgs[] = {
+      {"classic", 1, true}, {"sharded", 1, false}, {"sharded", 4, false}};
+  std::string ref_trace, ref_metrics, ref_flows;
+  TracedCell best[3];
+  for (int rep = 0; rep < kTracedReps; ++rep) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      std::string trace, metrics, flows;
+      const double wall = run_pdes_traced_once(
+          kCfgs[t].threads, kCfgs[t].classic, &trace, &metrics, &flows);
+      if (!kCfgs[t].classic) {
+        if (ref_trace.empty()) {
+          ref_trace = trace;
+          ref_metrics = metrics;
+          ref_flows = flows;
+        } else if (trace != ref_trace || metrics != ref_metrics ||
+                   flows != ref_flows) {
+          std::fprintf(stderr,
+                       "pdes TRACED-DETERMINISM FAILURE at nodes=%d "
+                       "threads=%d: sink output differs from threads=1\n",
+                       kTracedNodes, kCfgs[t].threads);
+          std::exit(1);
+        }
+      }
+      if (best[t].threads == 0 || wall < best[t].wall_ms) {
+        best[t].engine = kCfgs[t].engine;
+        best[t].threads = kCfgs[t].threads;
+        best[t].wall_ms = wall;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < 3; ++t) {
+    best[t].speedup = best[0].wall_ms / best[t].wall_ms;
+  }
+  return {best[0], best[1], best[2]};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,7 +373,8 @@ int main(int argc, char** argv) {
       std::printf("simcore-perf\n");
       for (const char* s : {"event queue", "interpreter", "sparse memory",
                             "fig1 latency sweep", "fig2 msgrate sweep",
-                            "pdes scaling matrix"}) {
+                            "pdes scaling matrix",
+                            "traced pdes scaling (byte-parity gated)"}) {
         std::printf("  %s\n", s);
       }
       return 0;
@@ -293,6 +391,7 @@ int main(int argc, char** argv) {
   const double fig1_ms = bench_fig1_wall_ms();
   const double fig2_ms = bench_fig2_wall_ms();
   const std::vector<PdesCell> pdes = bench_pdes_matrix();
+  const std::vector<TracedCell> traced = bench_pdes_traced();
 
   std::printf("simcore_perf - simulator host-performance baseline\n");
   std::printf("  event queue        %10.1f ns/event   (%llu events)\n",
@@ -307,6 +406,12 @@ int main(int argc, char** argv) {
               kPdesCells, kPdesIters);
   for (const PdesCell& c : pdes) {
     std::printf("    nodes=%d threads=%d %9.1f ms wall  %5.2fx\n", c.nodes,
+                c.threads, c.wall_ms, c.speedup);
+  }
+  std::printf("  traced pdes ring (nodes=%d, all sinks, byte-parity gated)\n",
+              kTracedNodes);
+  for (const TracedCell& c : traced) {
+    std::printf("    %-7s threads=%d %9.1f ms wall  %5.2fx\n", c.engine,
                 c.threads, c.wall_ms, c.speedup);
   }
 
@@ -334,6 +439,20 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(c.checksum),
                    static_cast<unsigned long long>(c.events),
                    i + 1 < pdes.size() ? "," : "");
+    }
+    std::fprintf(f, " ]},\n");
+    std::fprintf(f,
+                 " \"traced_pdes\":{\"workload\":\"ext_multinode_ring/extoll"
+                 "+trace+metrics+flows\",\"nodes\":%d,\"reps\":%d,"
+                 "\"byte_identical\":true,\"matrix\":[\n",
+                 kTracedNodes, kTracedReps);
+    for (std::size_t i = 0; i < traced.size(); ++i) {
+      const TracedCell& c = traced[i];
+      std::fprintf(f,
+                   "  {\"engine\":\"%s\",\"threads\":%d,\"wall_ms\":%.3f,"
+                   "\"speedup\":%.3f}%s\n",
+                   c.engine, c.threads, c.wall_ms, c.speedup,
+                   i + 1 < traced.size() ? "," : "");
     }
     std::fprintf(f, " ]}}\n");
     std::fclose(f);

@@ -276,18 +276,28 @@ void Gpu::store_backed(WarpExec& w, Addr addr, unsigned width,
 // ---------------------------------------------------------------------------
 // Memory instruction execution.
 
-bool Gpu::flow_poll_detect(mem::Addr addr, unsigned width) {
+void Gpu::flow_poll_detect(const WarpExec& w, unsigned width) {
   // Producers park lifecycles under either the polled word's base
   // address (notification slots, CQE valid words) or the last written
-  // payload byte (tag polls load the tail, so base + width - 1).
-  obs::FlowId flow = obs::flow_pop(obs::flow_key(&fabric_, addr));
-  if (flow == 0) {
-    flow = obs::flow_pop(obs::flow_key(&fabric_, addr + width - 1));
+  // payload byte (tag polls load the tail, so base + width - 1). The
+  // probe order — lanes in order, base before tail — fixes which flow a
+  // multi-lane poll detects when several are parked.
+  if (obs::flows() == nullptr) return;
+  std::uint64_t keys[2 * kWarpSize];
+  std::size_t n = 0;
+  for (const auto& la : w.scratch) {
+    keys[n++] = obs::flow_key(&fabric_, la.addr);
+    keys[n++] = obs::flow_key(&fabric_, la.addr + width - 1);
   }
-  if (flow == 0) return false;
-  obs::flow_stage(flow, name_.c_str(), "poll_detect", sim_.now());
-  obs::flow_end(flow, name_.c_str(), sim_.now());
-  return true;
+  obs::flow_poll_scan(name_.c_str(), sim_.now(), keys, n);
+}
+
+void Gpu::flow_poll_detect(mem::Addr addr, unsigned width) {
+  if (obs::flows() == nullptr) return;
+  const std::uint64_t keys[2] = {
+      obs::flow_key(&fabric_, addr),
+      obs::flow_key(&fabric_, addr + width - 1)};
+  obs::flow_poll_scan(name_.c_str(), sim_.now(), keys, 2);
 }
 
 bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
@@ -391,11 +401,7 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
       // The sample above reflects every write landed by now, so if a
       // lifecycle is parked under a polled lane this is the load that
       // detected it.
-      if (obs::flows() != nullptr) {
-        for (const auto& la : lns) {
-          if (flow_poll_detect(la.addr, in.width)) break;
-        }
-      }
+      flow_poll_detect(*w, in.width);
       w->state.set_pc(w->state.pc() + 1);
       run_warp(w);
     });
@@ -436,9 +442,7 @@ bool Gpu::exec_load(const std::shared_ptr<WarpExec>& w, const Decoded& in,
               // PCIe-read polling (the paper's direct mode): this
               // completion samples host memory, so it detects any
               // lifecycle parked under the polled address.
-              if (obs::flows() != nullptr) {
-                (void)flow_poll_detect(addr, in.width);
-              }
+              flow_poll_detect(addr, in.width);
               if (--*pending == 0) {
                 w->state.set_pc(w->state.pc() + 1);
                 run_warp(w);

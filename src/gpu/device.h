@@ -134,12 +134,14 @@ class Gpu : public pcie::Endpoint {
                    std::function<void(std::vector<std::uint8_t>)> cb);
   void pump_sysmem_reads();
 
-  /// If a message lifecycle is parked under the loaded address (a
+  /// If a message lifecycle is parked under any loaded lane address (a
   /// notification slot, CQE valid word, or the payload's tail), this
   /// load is the poll that detected its arrival: stamp poll_detect and
-  /// end the flow. Returns true on a hit so warp-wide callers can stop
-  /// probing the remaining lanes.
-  bool flow_poll_detect(mem::Addr addr, unsigned width);
+  /// end the first parked flow found, probing lanes in order. One
+  /// deferred-friendly scan per load — whether a key holds a flow is
+  /// only knowable at merge time under the sharded engine.
+  void flow_poll_detect(const WarpExec& w, unsigned width);
+  void flow_poll_detect(mem::Addr addr, unsigned width);
 
   /// Memory helpers (state access; timing handled by callers).
   std::uint64_t load_backed(const WarpExec& w, mem::Addr addr,

@@ -271,6 +271,10 @@ void Switch::forward(int in_port, std::vector<std::uint8_t> bytes,
     return;
   }
   const obs::FlowId flow = claim_forwarded_flow(in.link, in.side, meta);
+  // Close the hop that just landed on this switch (hops counts completed
+  // traversals, so the 0-based index of the incoming link is hops - 1).
+  stage_wire_hop(flow, meta.hops - 1u,
+                 in.link->endpoint_sim(in.side).now());
   ++frames_forwarded_;
   bytes_forwarded_ += bytes.size();
   const Port& out = ports_[next_hop_[dst]];

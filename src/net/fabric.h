@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -182,6 +183,21 @@ inline obs::FlowId claim_forwarded_flow(NetworkLink* in_link, int in_side,
   if (!meta.flow_attached) return 0;
   return obs::flow_pop(
       obs::flow_key(in_link, static_cast<std::uint64_t>(1 - in_side)));
+}
+
+/// Stamps the flow stage for one completed link traversal of a routed
+/// path. Multi-hop routes label every hop "wire.h<k>" — k is the
+/// 0-based link index, the same value the per-link trace span records
+/// as "hop" — so the stage breakdown shows *which* hop the wire time
+/// went to instead of one span covering the whole path. Relays stamp
+/// their incoming hop at arrival; the terminal stamps the final hop.
+/// (The classic single-hop delivery keeps the plain "wire" name; see
+/// the terminal call sites.)
+inline void stage_wire_hop(obs::FlowId flow, unsigned hop_index, SimTime at) {
+  if (flow == 0) return;
+  char name[20];
+  std::snprintf(name, sizeof(name), "wire.h%u", hop_index);
+  obs::flow_stage(flow, "net", name, at);
 }
 
 }  // namespace pg::net

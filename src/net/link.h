@@ -187,6 +187,10 @@ class NetworkLink {
   }
   const NetConfig& config() const { return cfg_; }
 
+  /// The Simulation driving `side`'s endpoint — the context its
+  /// attached handler runs in (switch forwarders read the clock here).
+  sim::Simulation& endpoint_sim(int side) const { return *sides_[side].sim; }
+
  private:
   struct Direction {
     SimTime busy_until = 0;

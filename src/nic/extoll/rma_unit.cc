@@ -372,9 +372,11 @@ void ExtollNic::on_frame(net::NetworkLink* link, int side,
   if (meta.dst_node >= 0 && node_id_ >= 0 && meta.dst_node != node_id_) {
     // NIC-as-router relay: the frame is for another terminal. Forward
     // it un-decoded (cut-through; the per-hop cost is the egress link's
-    // serialization + flight latency), re-attaching any lifecycle the
-    // frame carries so its wire stage spans the whole routed path.
+    // serialization + flight latency), closing the incoming wire hop
+    // and re-attaching any lifecycle the frame carries so every link
+    // of the routed path gets its own labelled stage.
     const obs::FlowId flow = net::claim_forwarded_flow(link, side, meta);
+    net::stage_wire_hop(flow, meta.hops - 1u, sim_.now());
     const Route out = route_for(meta.dst_node);
     assert(out.link && "relay without an egress link");
     ++totals_.frames_forwarded;
@@ -397,7 +399,13 @@ void ExtollNic::on_frame(net::NetworkLink* link, int side,
   if (frame->last) {
     flow = obs::flow_pop(
         obs::flow_key(link, static_cast<std::uint64_t>(1 - side)));
-    obs::flow_stage(flow, "net", "wire", sim_.now());
+    // Single-hop deliveries keep the classic "wire" stage; routed
+    // multi-hop paths label the final hop like the relays did theirs.
+    if (meta.hops > 1) {
+      net::stage_wire_hop(flow, meta.hops - 1u, sim_.now());
+    } else {
+      obs::flow_stage(flow, "net", "wire", sim_.now());
+    }
   }
   switch (frame->kind) {
     case Frame::Kind::kPutSegment:
@@ -674,10 +682,8 @@ void ExtollNic::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
     // before their MMIO writes; a GPU-built WR announces itself here,
     // so mint its flow now - the post stage then covers the BAR write
     // serialization the device actually pays.
-    if (obs::FlowTable* ft = obs::flows()) {
-      const std::uint64_t key = obs::flow_key(&fabric_, addr - word_off);
-      if (ft->channel_depth(key) == 0) ft->push(key, ft->begin(sim_.now()));
-    }
+    obs::flow_ensure_parked(obs::flow_key(&fabric_, addr - word_off),
+                            sim_.now());
   }
   port.staging[word] = value;
   port.staged_mask |= static_cast<std::uint8_t>(1u << word);

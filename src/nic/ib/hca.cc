@@ -250,10 +250,8 @@ void Hca::inbound_write(Addr addr, std::span<const std::uint8_t> data) {
   // GPU-posted WQEs have no host-side announcement: start their message
   // lifecycle when the doorbell lands. Host-posted WQEs queued a flow at
   // post time, so their channel is non-empty and nothing is minted.
-  if (obs::FlowTable* ft = obs::flows()) {
-    const std::uint64_t key = obs::flow_key(&fabric_, sq_doorbell_addr(qpn));
-    if (ft->channel_depth(key) == 0) ft->push(key, ft->begin(sim_.now()));
-  }
+  obs::flow_ensure_parked(obs::flow_key(&fabric_, sq_doorbell_addr(qpn)),
+                          sim_.now());
   qp.sq_tail = value;
   kick_sq(qpn);
 }
@@ -288,11 +286,8 @@ void Hca::sq_step(std::uint32_t qpn) {
   // channel; picking it up here closes the post stage. WQEs the host
   // driver never announced (e.g. GPU-posted rings) start their lifecycle
   // at the fetch instead, with an empty post stage.
-  obs::FlowId flow =
-      obs::flow_pop(obs::flow_key(&fabric_, sq_doorbell_addr(qpn)));
-  if (flow == 0) {
-    if (obs::FlowTable* ft = obs::flows()) flow = ft->begin(t_fetch);
-  }
+  const obs::FlowId flow = obs::flow_pop_or_begin(
+      obs::flow_key(&fabric_, sq_doorbell_addr(qpn)), t_fetch);
   obs::flow_stage(flow, name_.c_str(), "post", t_fetch);
   // Fetch the WQE across PCIe (host memory, or the P2P path when the ring
   // lives in GPU memory).
@@ -480,9 +475,11 @@ void Hca::on_frame(net::NetworkLink* link, int side,
                    std::vector<std::uint8_t> bytes, net::FrameMeta meta) {
   if (meta.dst_node >= 0 && node_id_ >= 0 && meta.dst_node != node_id_) {
     // HCA-as-router relay: forward un-decoded to the next hop toward
-    // the destination terminal, re-attaching any lifecycle the frame
-    // carries so its wire stage spans the whole routed path.
+    // the destination terminal, closing the incoming wire hop and
+    // re-attaching any lifecycle the frame carries so every link of
+    // the routed path gets its own labelled stage.
     const obs::FlowId flow = net::claim_forwarded_flow(link, side, meta);
+    net::stage_wire_hop(flow, meta.hops - 1u, sim_.now());
     const NodeRoute out = route_for(meta.dst_node);
     assert(out.link && "relay without an egress link");
     ++totals_.frames_forwarded;
@@ -510,7 +507,13 @@ void Hca::on_frame(net::NetworkLink* link, int side,
       frame->kind != Frame::Kind::kNak) {
     flow = obs::flow_pop(
         obs::flow_key(link, static_cast<std::uint64_t>(1 - side)));
-    obs::flow_stage(flow, "net", "wire", sim_.now());
+    // Single-hop deliveries keep the classic "wire" stage; routed
+    // multi-hop paths label the final hop like the relays did theirs.
+    if (meta.hops > 1) {
+      net::stage_wire_hop(flow, meta.hops - 1u, sim_.now());
+    } else {
+      obs::flow_stage(flow, "net", "wire", sim_.now());
+    }
   }
   switch (frame->kind) {
     case Frame::Kind::kWrite:

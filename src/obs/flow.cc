@@ -42,6 +42,7 @@ FlowId FlowTable::begin(SimTime at) {
 
 void FlowTable::stage(FlowId id, const char* track, const char* name,
                       SimTime end) {
+  id = resolve(id);
   auto it = open_.find(id);
   if (it == open_.end()) return;
   OpenFlow& f = it->second;
@@ -72,6 +73,7 @@ void FlowTable::stage(FlowId id, const char* track, const char* name,
 }
 
 void FlowTable::end(FlowId id, const char* track, SimTime at) {
+  id = resolve(id);
   auto it = open_.find(id);
   if (it == open_.end()) return;
   const OpenFlow& f = it->second;
@@ -86,6 +88,7 @@ void FlowTable::end(FlowId id, const char* track, SimTime at) {
 }
 
 void FlowTable::step(FlowId id, const char* track, SimTime at) {
+  id = resolve(id);
   auto it = open_.find(id);
   if (it == open_.end()) return;
   if (TraceRecorder* r = recorder()) {
@@ -95,6 +98,8 @@ void FlowTable::step(FlowId id, const char* track, SimTime at) {
 }
 
 void FlowTable::push(std::uint64_t key, FlowId id) {
+  id = resolve(id);
+  if (id == 0) return;  // dead provisional id: the deferred pop missed
   channels_[key].push_back(id);
 }
 
@@ -112,9 +117,30 @@ std::size_t FlowTable::channel_depth(std::uint64_t key) const {
   return it != channels_.end() ? it->second.size() : 0;
 }
 
+FlowId FlowTable::pop_or_begin(std::uint64_t key, SimTime at) {
+  const FlowId id = pop(key);
+  return id != 0 ? id : begin(at);
+}
+
+void FlowTable::ensure_parked(std::uint64_t key, SimTime at) {
+  if (channel_depth(key) == 0) push(key, begin(at));
+}
+
+void FlowTable::poll_scan(const char* track, SimTime at,
+                          const std::uint64_t* keys, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowId id = pop(keys[i]);
+    if (id == 0) continue;
+    stage(id, track, "poll_detect", at);
+    end(id, track, at);
+    return;
+  }
+}
+
 void FlowTable::begin_unit(std::string label) {
   groups_[cur_].abandoned += open_.size();
   open_.clear();
+  aliases_.clear();
   channels_.clear();
   groups_.push_back(Breakdown{.label = std::move(label)});
   cur_ = groups_.size() - 1;

@@ -47,6 +47,15 @@ namespace pg::obs {
 /// helper a no-op, so untracked paths need no guards.
 using FlowId = std::uint64_t;
 
+/// Marks a *provisional* id handed out by a deferred begin()/pop()
+/// inside a parallel shard window (obs/shard_sink.h): the canonical id
+/// is not known until the post-round merge replays the op. Model code
+/// treats provisional ids like any other FlowId; every FlowTable entry
+/// point resolves them through the alias table the merge maintains.
+/// Canonical ids are minted sequentially from 1 and can never reach
+/// this bit.
+constexpr FlowId kProvisionalFlowBit = 1ull << 63;
+
 /// Correlation-channel key for address `addr` as seen by the component
 /// `ns` (namespace pointer - typically the node's pcie::Fabric, because
 /// nodes map identical address layouts). Mixed so that nearby addresses
@@ -111,6 +120,42 @@ class FlowTable {
   /// Flows queued under `key` (mint-on-first-write decisions).
   std::size_t channel_depth(std::uint64_t key) const;
 
+  // -- composite primitives -----------------------------------------------
+  //
+  // Call sites whose *control flow* depends on table state (did the pop
+  // hit? is the channel empty?) cannot branch at the call site under
+  // deferred recording — the answer only exists at replay. These fold
+  // the branch into one atomic table operation shared by the direct
+  // path and the merge replay.
+
+  /// pop(key), minting a fresh flow at `at` when the channel is empty —
+  /// the "host posted a lifecycle, or start one now" pattern.
+  FlowId pop_or_begin(std::uint64_t key, SimTime at);
+
+  /// Parks begin(at) under `key` unless something is already parked —
+  /// the "announce unless the host driver already did" pattern.
+  void ensure_parked(std::uint64_t key, SimTime at);
+
+  /// First-hit poll detection: pops the candidate keys in order; the
+  /// first parked flow found gets a "poll_detect" stage and end() at
+  /// `at` on `track`, remaining candidates are left untouched.
+  void poll_scan(const char* track, SimTime at, const std::uint64_t* keys,
+                 std::size_t n);
+
+  // -- provisional-id aliasing (shard-sink merge only) --------------------
+
+  /// Records that provisional id `prov` resolved to `canon` (0 = the
+  /// deferred pop missed; uses of the id then no-op, exactly as the
+  /// sequential engine's 0 return would have).
+  void alias(FlowId prov, FlowId canon) { aliases_[prov] = canon; }
+  /// Canonical id behind `id`: non-provisional ids pass through,
+  /// unresolved or dead provisional ids map to 0.
+  FlowId resolve(FlowId id) const {
+    if ((id & kProvisionalFlowBit) == 0) return id;
+    auto it = aliases_.find(id);
+    return it != aliases_.end() ? it->second : 0;
+  }
+
   // -- units --------------------------------------------------------------
 
   /// Starts a new experiment unit: drops every open flow and channel
@@ -122,6 +167,9 @@ class FlowTable {
   // -- results ------------------------------------------------------------
 
   const std::vector<Breakdown>& breakdowns() const { return groups_; }
+  /// The breakdown of the current (latest) unit — what the telemetry
+  /// sampler reads mid-run.
+  const Breakdown& current() const { return groups_[cur_]; }
   /// Latest breakdown with this label, or nullptr.
   const Breakdown* find(std::string_view label) const;
   std::size_t open_flows() const { return open_.size(); }
@@ -138,6 +186,7 @@ class FlowTable {
   };
 
   std::unordered_map<FlowId, OpenFlow> open_;
+  std::unordered_map<FlowId, FlowId> aliases_;  // provisional -> canonical
   std::unordered_map<std::uint64_t, std::deque<FlowId>> channels_;
   std::vector<Breakdown> groups_;
   std::size_t cur_ = 0;
@@ -154,33 +203,93 @@ void attach_flows(FlowTable* table);
 
 inline FlowId flow_begin(SimTime at) {
   FlowTable* f = flows();
-  return f != nullptr ? f->begin(at) : 0;
+  if (f == nullptr) return 0;
+  if (ShardOpBuffer* b = shard_ops()) return defer_flow_begin(b, at);
+  return f->begin(at);
 }
 
 inline void flow_stage(FlowId id, const char* track, const char* name,
                        SimTime end) {
   if (id == 0) return;
-  if (FlowTable* f = flows()) f->stage(id, track, name, end);
+  if (FlowTable* f = flows()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_flow_stage(b, id, track, name, end);
+      return;
+    }
+    f->stage(id, track, name, end);
+  }
 }
 
 inline void flow_end(FlowId id, const char* track, SimTime at) {
   if (id == 0) return;
-  if (FlowTable* f = flows()) f->end(id, track, at);
+  if (FlowTable* f = flows()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_flow_end(b, id, track, at);
+      return;
+    }
+    f->end(id, track, at);
+  }
 }
 
 inline void flow_push(std::uint64_t key, FlowId id) {
   if (id == 0) return;
-  if (FlowTable* f = flows()) f->push(key, id);
+  if (FlowTable* f = flows()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_flow_push(b, key, id);
+      return;
+    }
+    f->push(key, id);
+  }
 }
 
 inline FlowId flow_pop(std::uint64_t key) {
   FlowTable* f = flows();
-  return f != nullptr ? f->pop(key) : 0;
+  if (f == nullptr) return 0;
+  if (ShardOpBuffer* b = shard_ops()) return defer_flow_pop(b, key);
+  return f->pop(key);
 }
 
 inline void flow_step(FlowId id, const char* track, SimTime at) {
   if (id == 0) return;
-  if (FlowTable* f = flows()) f->step(id, track, at);
+  if (FlowTable* f = flows()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_flow_step(b, id, track, at);
+      return;
+    }
+    f->step(id, track, at);
+  }
+}
+
+/// pop_or_begin through the deferral layer: the returned id may be
+/// provisional inside a shard window (see kProvisionalFlowBit).
+inline FlowId flow_pop_or_begin(std::uint64_t key, SimTime at) {
+  FlowTable* f = flows();
+  if (f == nullptr) return 0;
+  if (ShardOpBuffer* b = shard_ops()) return defer_flow_pop_or_begin(b, key, at);
+  return f->pop_or_begin(key, at);
+}
+
+/// ensure_parked through the deferral layer.
+inline void flow_ensure_parked(std::uint64_t key, SimTime at) {
+  if (FlowTable* f = flows()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_flow_ensure_parked(b, key, at);
+      return;
+    }
+    f->ensure_parked(key, at);
+  }
+}
+
+/// poll_scan through the deferral layer.
+inline void flow_poll_scan(const char* track, SimTime at,
+                           const std::uint64_t* keys, std::size_t n) {
+  if (FlowTable* f = flows()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_flow_poll_scan(b, track, at, keys, n);
+      return;
+    }
+    f->poll_scan(track, at, keys, n);
+  }
 }
 
 }  // namespace pg::obs

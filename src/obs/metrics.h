@@ -19,6 +19,8 @@
 #include <map>
 #include <string>
 
+#include "obs/defer.h"
+
 namespace pg::obs {
 
 /// Monotonically increasing event count.
@@ -148,19 +150,39 @@ MetricsRegistry* metrics();
 /// simulator is single-threaded by design.
 void attach_metrics(MetricsRegistry* registry);
 
-/// Adds `delta` to counter `name` if a registry is attached.
+/// Adds `delta` to counter `name` if a registry is attached. Inside a
+/// parallel shard window (obs/defer.h) the update is buffered and
+/// folded in at the next fence, in global event order.
 inline void count(const char* name, std::uint64_t delta = 1) {
-  if (MetricsRegistry* m = metrics()) m->counter(name).add(delta);
+  if (MetricsRegistry* m = metrics()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_count(b, name, delta);
+      return;
+    }
+    m->counter(name).add(delta);
+  }
 }
 
 /// Records `value` into histogram `name` if a registry is attached.
 inline void observe(const char* name, std::uint64_t value) {
-  if (MetricsRegistry* m = metrics()) m->histogram(name).record(value);
+  if (MetricsRegistry* m = metrics()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_observe(b, name, value);
+      return;
+    }
+    m->histogram(name).record(value);
+  }
 }
 
 /// Sets gauge `name` if a registry is attached.
 inline void gauge_set(const char* name, double value) {
-  if (MetricsRegistry* m = metrics()) m->gauge(name).set(value);
+  if (MetricsRegistry* m = metrics()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_gauge(b, name, value);
+      return;
+    }
+    m->gauge(name).set(value);
+  }
 }
 
 }  // namespace pg::obs

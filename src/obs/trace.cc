@@ -72,6 +72,21 @@ void TraceRecorder::instant(TrackId track, const char* category,
                render_args(args)});
 }
 
+void TraceRecorder::span_rendered(TrackId track, const char* category,
+                                  std::string name, SimTime begin, SimTime end,
+                                  std::string args) {
+  if (end < begin) end = begin;
+  record(Event{current_unit_, track, 'X', category, std::move(name), begin,
+               end - begin, std::move(args)});
+}
+
+void TraceRecorder::instant_rendered(TrackId track, const char* category,
+                                     std::string name, SimTime at,
+                                     std::string args) {
+  record(Event{current_unit_, track, 'i', category, std::move(name), at, 0,
+               std::move(args)});
+}
+
 void TraceRecorder::flow_event(TrackId track, char phase, std::uint64_t id,
                                SimTime at) {
   record(Event{current_unit_, track, phase, "flow", "msg", at, 0, "", id});

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/defer.h"
 #include "obs/json.h"
 
 namespace pg::obs {
@@ -82,6 +83,18 @@ class TraceRecorder {
   /// uses the enclosing-slice binding point). Category is "flow".
   void flow_event(TrackId track, char phase, std::uint64_t id, SimTime at);
 
+  /// span()/instant() with an already-rendered argument body — the
+  /// shard-sink merge replays deferred ops through these (the args were
+  /// rendered at the original call site; see render_args).
+  void span_rendered(TrackId track, const char* category, std::string name,
+                     SimTime begin, SimTime end, std::string args);
+  void instant_rendered(TrackId track, const char* category, std::string name,
+                        SimTime at, std::string args);
+
+  /// Renders an argument list to the JSON object body span() would
+  /// store ("k":v,...; empty for no args).
+  static std::string render_args(std::initializer_list<Arg> args);
+
   std::size_t event_count() const { return events_.size(); }
 
   /// Serializes the whole trace as Chrome trace-event JSON.
@@ -101,7 +114,6 @@ class TraceRecorder {
     std::uint64_t flow_id = 0;  // flow events only
   };
 
-  static std::string render_args(std::initializer_list<Arg> args);
   void record(Event e);
 
   std::vector<Event> events_;
@@ -130,6 +142,11 @@ inline void span(const char* track, const char* category, std::string name,
                  SimTime begin, SimTime end,
                  std::initializer_list<Arg> args = {}) {
   if (TraceRecorder* r = recorder()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_span(b, track, category, std::move(name), begin, end,
+                 TraceRecorder::render_args(args));
+      return;
+    }
     r->span(r->track(track), category, std::move(name), begin, end, args);
   }
 }
@@ -137,6 +154,11 @@ inline void span(const char* track, const char* category, std::string name,
 inline void instant(const char* track, const char* category, std::string name,
                     SimTime at, std::initializer_list<Arg> args = {}) {
   if (TraceRecorder* r = recorder()) {
+    if (ShardOpBuffer* b = shard_ops()) {
+      defer_instant(b, track, category, std::move(name), at,
+                    TraceRecorder::render_args(args));
+      return;
+    }
     r->instant(r->track(track), category, std::move(name), at, args);
   }
 }

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 
 #include "obs/flow.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
 
@@ -21,29 +23,38 @@ namespace pg::putget {
 class OpSpan {
  public:
   OpSpan(sim::Simulation& sim, std::string label)
-      : sim_(sim), label_(std::move(label)) {
+      : OpSpan([&sim] { return sim.now(); }, std::move(label)) {}
+
+  /// Clock-functor form for workloads on a sharded cluster, which has
+  /// no single Simulation: pass [&cluster] { return cluster.now(); }
+  /// (the fence time — the destructor runs in host context, where the
+  /// shards have quiesced).
+  OpSpan(std::function<SimTime()> now, std::string label)
+      : now_(std::move(now)), label_(std::move(label)) {
     obs::begin_unit(label_);
-    // The flow table's units follow the trace units: a new run means a
-    // fresh correlation namespace and a fresh latency breakdown.
+    // The flow table's and time series' units follow the trace units: a
+    // new run means a fresh correlation namespace, a fresh latency
+    // breakdown, and a fresh sample timeline.
     if (obs::FlowTable* f = obs::flows()) f->begin_unit(label_);
+    obs::timeseries_begin_unit(label_);
   }
 
   OpSpan(const OpSpan&) = delete;
   OpSpan& operator=(const OpSpan&) = delete;
 
   ~OpSpan() {
+    const SimTime end = now_();
     if (obs::metrics()) {
       obs::count("putget.ops");
-      obs::observe("putget.op_ns",
-                   static_cast<std::uint64_t>(to_ns(sim_.now())));
+      obs::observe("putget.op_ns", static_cast<std::uint64_t>(to_ns(end)));
     }
     if (obs::enabled()) {
-      obs::span("putget", "op", label_, 0, sim_.now(), {});
+      obs::span("putget", "op", label_, 0, end, {});
     }
   }
 
  private:
-  sim::Simulation& sim_;
+  std::function<SimTime()> now_;
   std::string label_;
 };
 

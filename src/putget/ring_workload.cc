@@ -298,15 +298,12 @@ RingResult run_ring_halo_exchange(const sys::ClusterConfig& cfg,
   const int n = cluster.num_nodes();
   out.num_nodes = n;
   const std::uint64_t field_bytes = (cells + 2) * 8;
-  // Lifecycle span only in single-heap mode: sharded runs never have
-  // observability sinks attached (the cluster falls back if they are),
-  // so skipping it there changes nothing.
-  std::optional<OpSpan> op;
-  if (!cluster.sharded()) {
-    op.emplace(cluster.sim(),
-               op_label("ring-halo", ring_backend_name(ring.backend),
-                        field_bytes));
-  }
+  // One lifecycle span — and one trace / flow / time-series unit — per
+  // run, in both engine modes; the cluster clock is the fence time when
+  // sharded.
+  OpSpan op([&cluster] { return cluster.now(); },
+            op_label("ring-halo", ring_backend_name(ring.backend),
+                     field_bytes));
 
   // Double-buffered field per GPU.
   std::vector<NodeField> fields(n);

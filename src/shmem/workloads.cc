@@ -99,6 +99,7 @@ GupsResult run_gups(const GupsConfig& cfg) {
   cc.num_nodes = cfg.num_pes;
   cc.topology = net::Topology::kFullMesh;
   cc.threads = cfg.threads;
+  cc.sample_every = cfg.sample_every;
   sys::Cluster cluster(cc);
 
   ShmemOptions so;
@@ -390,6 +391,7 @@ Halo2dResult run_halo2d(const Halo2dConfig& cfg) {
   cc.num_nodes = n;
   cc.topology = net::Topology::kFullMesh;
   cc.threads = cfg.threads;
+  cc.sample_every = cfg.sample_every;
   sys::Cluster cluster(cc);
 
   ShmemOptions so;

@@ -46,6 +46,8 @@ struct GupsConfig {
   /// Event-engine worker threads (see ClusterConfig::threads). Results
   /// are byte-identical for any value.
   int threads = 1;
+  /// Telemetry sample interval (see ClusterConfig::sample_every).
+  SimDuration sample_every = 0;
 };
 
 struct GupsResult {
@@ -88,6 +90,8 @@ struct Halo2dConfig {
   /// Event-engine worker threads (see ClusterConfig::threads). Results
   /// are byte-identical for any value.
   int threads = 1;
+  /// Telemetry sample interval (see ClusterConfig::sample_every).
+  SimDuration sample_every = 0;
 };
 
 struct Halo2dResult {

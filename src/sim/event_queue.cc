@@ -114,7 +114,7 @@ EventQueue::Popped EventQueue::pop_front() {
   heap_.pop_back();
   // Moving out leaves the slot's InlineFn empty, so recycling it is a
   // no-op destroy.
-  Popped out{back.time, back.tag, std::move(slots_[back.slot])};
+  Popped out{back.time, back.birth_time, back.tag, std::move(slots_[back.slot])};
   free_slots_.push_back(back.slot);
   retire_tag(back.tag);
   assert(live_count_ > 0);

@@ -121,8 +121,12 @@ class EventQueue {
   Key next_key() const;
 
   /// Pops and returns the next live event. Requires !empty().
+  /// (time, birth_time, id) is the event's full ordering key — the
+  /// shard-aware observability sinks stamp deferred records with it so
+  /// a post-round merge can reconstruct the global execution order.
   struct Popped {
     SimTime time;
+    SimTime birth_time;
     EventId id;
     EventFn fn;
   };

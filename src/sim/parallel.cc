@@ -104,7 +104,12 @@ void ShardGroup::claim_windows() {
     const int i = claim_.fetch_add(1, std::memory_order_acq_rel);
     if (i >= n) return;
     Slot& s = slots_[static_cast<std::size_t>(i)];
+    // Window execution runs with the shard's observability buffer bound
+    // to this thread (obs helpers defer instead of touching the global
+    // sinks); the coordinator folds the buffers in at the next fence.
+    if (hooks_.bind) hooks_.bind(i, s.sim);
     s.result = s.sim->run_window(s.cap, s.cond);
+    if (hooks_.unbind) hooks_.unbind();
     windows_done_.fetch_add(1, std::memory_order_release);
   }
 }
@@ -117,7 +122,12 @@ void ShardGroup::run_round() {
   // would do.
   for (Simulation* s : shards_) s->set_shared_births_active(false);
   if (opt_.workers == 1) {
-    for (Slot& s : slots_) s.result = s.sim->run_window(s.cap, s.cond);
+    for (int i = 0; i < num_shards(); ++i) {
+      Slot& s = slots_[static_cast<std::size_t>(i)];
+      if (hooks_.bind) hooks_.bind(i, s.sim);
+      s.result = s.sim->run_window(s.cap, s.cond);
+      if (hooks_.unbind) hooks_.unbind();
+    }
   } else {
     windows_done_.store(0, std::memory_order_relaxed);
     // Release-publishes this round's caps/conds (written before this
@@ -211,6 +221,13 @@ void ShardGroup::fence_all(SimTime t) {
 }
 
 bool ShardGroup::run_until_local(std::vector<ShardCond> conds) {
+  return run_until_local_before(std::move(conds), kNever) == Outcome::kFired;
+}
+
+ShardGroup::Outcome ShardGroup::run_until_local_before(
+    std::vector<ShardCond> conds, SimTime deadline) {
+  // Events exactly at the deadline run (run_window caps are exclusive).
+  const SimTime cap_bound = deadline == kNever ? kNever : deadline + 1;
   const int n = num_shards();
   struct Wait {
     const ShardCond* cond = nullptr;
@@ -240,7 +257,18 @@ bool ShardGroup::run_until_local(std::vector<ShardCond> conds) {
   while (unfired > 0) {
     drain_channels();
     const Frontier f = frontier();
-    if (f.min1 == kNever) return false;  // drained with predicates unmet
+    if (f.min1 == kNever) {
+      merge_sinks();
+      return Outcome::kStopped;  // drained with predicates unmet
+    }
+    if (f.min1 > deadline) {
+      // Every event up to the boundary ran without the wait completing:
+      // fence at the boundary so the caller samples a defined instant,
+      // then resume the (monotone) wait on the next call.
+      fence_all(deadline);
+      merge_sinks();
+      return Outcome::kDeadline;
+    }
     // Shards still waiting run to their horizon but pause on their
     // firing event. Everyone else must stay below every waiter's next
     // event: a waiter can fire no earlier than that, and nothing may
@@ -257,10 +285,10 @@ bool ShardGroup::run_until_local(std::vector<ShardCond> conds) {
       Slot& s = slots_[static_cast<std::size_t>(i)];
       Wait& w = waits[static_cast<std::size_t>(i)];
       if (w.cond != nullptr && !w.fired) {
-        s.cap = horizon_for(f, i);
+        s.cap = std::min(horizon_for(f, i), cap_bound);
         s.cond = &w.cond->pred;
       } else {
-        s.cap = std::min(horizon_for(f, i), min_unfired);
+        s.cap = std::min({horizon_for(f, i), min_unfired, cap_bound});
         s.cond = nullptr;
       }
     }
@@ -274,7 +302,10 @@ bool ShardGroup::run_until_local(std::vector<ShardCond> conds) {
         --unfired;
       }
     }
-    if (any_limit_hit()) return false;
+    if (any_limit_hit()) {
+      merge_sinks();
+      return Outcome::kStopped;
+    }
   }
   SimTime t_star = now_;
   for (const Wait& w : waits) {
@@ -296,12 +327,22 @@ bool ShardGroup::run_until_local(std::vector<ShardCond> conds) {
     if (any_limit_hit()) break;
   }
   fence_all(t_star);
-  return true;
+  merge_sinks();
+  return Outcome::kFired;
 }
 
 bool ShardGroup::run_until_global(const std::function<bool()>& pred) {
+  return run_until_global_before(pred, kNever) == Outcome::kFired;
+}
+
+ShardGroup::Outcome ShardGroup::run_until_global_before(
+    const std::function<bool()>& pred, SimTime deadline) {
   drain_channels();
-  if (pred()) return true;
+  // Merged execution applies observability directly; fold in anything a
+  // previous (windowed) call left buffered before the predicate looks
+  // at sink state.
+  merge_sinks();
+  if (pred()) return Outcome::kFired;
   for (;;) {
     int best = -1;
     EventQueue::Key best_key{};
@@ -314,12 +355,16 @@ bool ShardGroup::run_until_global(const std::function<bool()>& pred) {
         best_key = k;
       }
     }
-    if (best < 0) return false;
+    if (best < 0) return Outcome::kStopped;
+    if (best_key.time > deadline) {
+      fence_all(deadline);
+      return Outcome::kDeadline;
+    }
     const SimTime t = shards_[static_cast<std::size_t>(best)]->step_one();
-    if (t < 0) return false;  // event limit tripped
+    if (t < 0) return Outcome::kStopped;  // event limit tripped
     if (pred()) {
       fence_all(t);
-      return true;
+      return Outcome::kFired;
     }
   }
 }
@@ -341,6 +386,7 @@ std::uint64_t ShardGroup::run_until_time(SimTime deadline) {
     if (any_limit_hit()) break;
   }
   fence_all(deadline);
+  merge_sinks();
   return executed;
 }
 
@@ -363,6 +409,7 @@ std::uint64_t ShardGroup::run() {
   }
   for (Simulation* s : shards_) end = std::max(end, s->now());
   fence_all(end);
+  merge_sinks();
   return executed;
 }
 

@@ -107,6 +107,33 @@ class ShardGroup {
   /// coordinator thread, checking `pred` after each.
   bool run_until_global(const std::function<bool()>& pred);
 
+  /// Deadline-segmented variants backing the sim-time telemetry sampler
+  /// (sys/Cluster): identical event execution, but the wait additionally
+  /// stops once every event with timestamp <= `deadline` has run,
+  /// fencing all clocks at the deadline. kFired = every condition fired
+  /// (fenced at t*, exactly like the unsegmented call); kDeadline = the
+  /// boundary was reached first; kStopped = drained / event limit with
+  /// conditions unmet. Conditions must be monotone, so re-issuing the
+  /// same wait after a kDeadline return resumes it losslessly.
+  enum class Outcome { kFired, kDeadline, kStopped };
+  Outcome run_until_local_before(std::vector<ShardCond> conds,
+                                 SimTime deadline);
+  Outcome run_until_global_before(const std::function<bool()>& pred,
+                                  SimTime deadline);
+
+  /// Observability shard-sink hooks (see obs/shard_sink.h). `bind` runs
+  /// on the thread about to execute shard i's window, `unbind` when the
+  /// window completes, `merge` on the coordinator at every
+  /// synchronization fence — the only points where deferred per-shard
+  /// records may be folded into the global sinks (windows of successive
+  /// rounds overlap in timestamps, so any earlier merge could misorder).
+  struct SinkHooks {
+    std::function<void(int shard, Simulation* sim)> bind;
+    std::function<void()> unbind;
+    std::function<void()> merge;
+  };
+  void set_sink_hooks(SinkHooks hooks) { hooks_ = std::move(hooks); }
+
   /// Runs events with timestamps <= deadline in parallel rounds, then
   /// fences every clock at the deadline.
   std::uint64_t run_until_time(SimTime deadline);
@@ -185,8 +212,15 @@ class ShardGroup {
   /// Fences every shard clock (and the group clock) at `t`.
   void fence_all(SimTime t);
 
+  /// Folds deferred observability records into the global sinks. Legal
+  /// only between rounds (coordinator context).
+  void merge_sinks() {
+    if (hooks_.merge) hooks_.merge();
+  }
+
   std::vector<Simulation*> shards_;
   Options opt_;
+  SinkHooks hooks_;
   SimTime now_ = 0;
   // Group-global scheduling counter for serial contexts; consumed only
   // by the coordinator thread (run_round() parks it during windows).

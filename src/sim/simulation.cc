@@ -25,6 +25,7 @@ bool Simulation::step() {
   auto popped = queue_.pop();
   assert(popped.time >= now_ && "event queue produced time travel");
   now_ = popped.time;
+  current_key_ = EventQueue::Key{popped.time, popped.birth_time, popped.id};
   ++events_executed_;
   popped.fn();
   return true;
@@ -58,6 +59,24 @@ bool Simulation::run_until_condition(const std::function<bool()>& predicate) {
   return predicate();
 }
 
+Simulation::RunOutcome Simulation::run_until_condition_before(
+    const std::function<bool()>& predicate, SimTime deadline) {
+  stop_requested_ = false;
+  if (predicate()) return RunOutcome::kFired;
+  while (!stop_requested_) {
+    if (queue_.empty()) return RunOutcome::kDrained;
+    if (queue_.next_time() > deadline) {
+      // Everything up to the boundary ran; fence the clock there so the
+      // caller samples against a well-defined instant.
+      if (now_ < deadline) now_ = deadline;
+      return RunOutcome::kDeadline;
+    }
+    if (!step()) return RunOutcome::kDrained;
+    if (predicate()) return RunOutcome::kFired;
+  }
+  return predicate() ? RunOutcome::kFired : RunOutcome::kDrained;
+}
+
 Simulation::WindowResult Simulation::run_window(
     SimTime cap, const std::function<bool()>* condition) {
   WindowResult out;
@@ -82,6 +101,7 @@ Simulation::WindowResult Simulation::run_window(
     if (!queue_.pop_if_before(cap, &popped)) break;
     assert(popped.time >= now_ && "event queue produced time travel");
     now_ = popped.time;
+    current_key_ = EventQueue::Key{popped.time, popped.birth_time, popped.id};
     ++events_executed_;
     popped.fn();
     ++out.executed;

@@ -54,6 +54,17 @@ class Simulation {
   /// the queue drains. Returns true when the predicate was satisfied.
   bool run_until_condition(const std::function<bool()>& predicate);
 
+  /// run_until_condition segmented at a sim-time boundary: only events
+  /// with timestamps <= `deadline` execute. kFired = predicate turned
+  /// true (clock reads the firing event); kDeadline = every event up to
+  /// the deadline ran without firing (clock fenced at the deadline);
+  /// kDrained = queue empty / event limit with the predicate unmet.
+  /// Drives the telemetry sampler (sys/Cluster): the exact same events
+  /// execute as one unsegmented run_until_condition call would.
+  enum class RunOutcome { kFired, kDeadline, kDrained };
+  RunOutcome run_until_condition_before(
+      const std::function<bool()>& predicate, SimTime deadline);
+
   /// Requests that run()/run_until() return after the current event.
   void run_stop() { stop_requested_ = true; }
 
@@ -124,6 +135,12 @@ class Simulation {
   /// Ordering key of the next pending event. Requires !idle().
   EventQueue::Key next_key() const { return queue_.next_key(); }
 
+  /// Full ordering key of the event currently executing (valid only
+  /// inside an event callback). The shard-aware observability buffers
+  /// stamp every deferred record with it, so the post-round merge can
+  /// interleave records from all shards in exact global event order.
+  const EventQueue::Key& current_key() const { return current_key_; }
+
   /// Timestamp of the next pending event. Requires !idle().
   SimTime next_time() const { return queue_.next_time(); }
 
@@ -138,6 +155,7 @@ class Simulation {
 
   EventQueue queue_;
   SimTime now_ = 0;
+  EventQueue::Key current_key_{};
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_limit_ = std::numeric_limits<std::uint64_t>::max();

@@ -4,11 +4,14 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 
 #include "common/log.h"
 #include "obs/flow.h"
 #include "obs/metrics.h"
+#include "obs/shard_sink.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace pg::sys {
@@ -30,11 +33,6 @@ Status check_net(const net::NetConfig& net, const char* which) {
   return Status::ok();
 }
 
-bool obs_attached() {
-  return obs::recorder() != nullptr || obs::metrics() != nullptr ||
-         obs::flows() != nullptr;
-}
-
 /// Test-sweep override: PG_FORCE_THREADS=<n> reruns any cluster that
 /// *can* shard (positive link latencies on every enabled backend) on the
 /// parallel engine with n workers, without touching each call site.
@@ -43,14 +41,23 @@ bool obs_attached() {
 /// code paths under TSan. Configs that cannot shard (zero-latency links,
 /// too many nodes) silently keep their configured engine: the knob is
 /// best-effort coverage, not a correctness switch.
+/// True when the config can legally run on the sharded engine: every
+/// enabled backend has positive link latency (the latency is the
+/// conservative lookahead) and the node count fits the one-byte shard
+/// tag.
+bool can_shard(const ClusterConfig& cfg) {
+  if (cfg.node.with_extoll && cfg.extoll_net.latency <= 0) return false;
+  if (cfg.node.with_ib && cfg.ib_net.latency <= 0) return false;
+  return cfg.num_nodes <= 255;
+}
+
 int forced_threads(const ClusterConfig& cfg) {
+  if (cfg.force_classic_engine) return cfg.threads;
   const char* env = std::getenv("PG_FORCE_THREADS");
   if (env == nullptr) return cfg.threads;
   const int forced = std::atoi(env);
   if (forced <= 1) return cfg.threads;
-  if (cfg.node.with_extoll && cfg.extoll_net.latency <= 0) return cfg.threads;
-  if (cfg.node.with_ib && cfg.ib_net.latency <= 0) return cfg.threads;
-  if (cfg.num_nodes > 255) return cfg.threads;
+  if (!can_shard(cfg)) return cfg.threads;
   return forced;
 }
 
@@ -71,6 +78,11 @@ Status Cluster::validate(const ClusterConfig& cfg) {
   }
   if (cfg.threads < 1) {
     return invalid_argument("cluster threads must be >= 1");
+  }
+  if (cfg.force_classic_engine && cfg.threads > 1) {
+    return invalid_argument(
+        "force_classic_engine pins the single-heap engine and cannot run "
+        "more than one thread");
   }
   if (cfg.threads > 1) {
     // Sharding across a link needs the link's flight time as lookahead;
@@ -100,16 +112,25 @@ Cluster::Cluster(const ClusterConfig& cfg) {
     std::abort();
   }
   const int threads = forced_threads(cfg);
-  bool shard = threads > 1;
-  if (shard && obs_attached()) {
-    // The observability sinks are explicitly attached, thread-unaware
-    // globals; their hook order would also make trace output depend on
-    // worker timing. Observed runs use the sequential engine.
-    std::fprintf(stderr,
-                 "[sys] observability sinks attached: cluster falls back "
-                 "to the sequential engine (threads=1)\n");
-    shard = false;
-  }
+  // Routed-topology clusters always run on the sharded engine when the
+  // config allows it; `threads` picks the worker count (one worker
+  // steps the shards round-robin). Per-node shards give every thread
+  // count the same event-tag structure, so merged observability output
+  // is byte-identical at any --threads=T — including T=1, which would
+  // otherwise tie-break same-timestamp events by the classic engine's
+  // single global counter and order trace/flow minting differently.
+  // Pair-topology clusters keep the classic single heap at threads=1:
+  // the paper's two-node experiment drivers script against sim()
+  // directly. force_classic_engine pins the single heap regardless — a
+  // measurement escape hatch (the engine-A/B rows in simcore_perf), not
+  // a supported configuration: its sink output follows the classic
+  // tie-break order, so byte-parity with sharded runs is not promised.
+  const bool shard =
+      !cfg.force_classic_engine &&
+      (threads > 1 ||
+       (cfg.topology != net::Topology::kPair && can_shard(cfg)));
+  sample_every_ = cfg.sample_every;
+  next_sample_ = sample_every_;
 
   nodes_.reserve(cfg.num_nodes);
   if (shard) {
@@ -133,6 +154,17 @@ Cluster::Cluster(const ClusterConfig& cfg) {
     shards.reserve(shard_sims_.size());
     for (auto& s : shard_sims_) shards.push_back(s.get());
     group_ = std::make_unique<sim::ShardGroup>(std::move(shards), opt);
+    // Shard-aware observability: window threads append deferred sink
+    // ops into per-shard buffers; the coordinator replays them in
+    // event-key order at every fence. Wired unconditionally — with no
+    // sinks attached the inline obs helpers bail before deferring, so
+    // the buffers stay empty and merge() is a no-op.
+    obs_hub_ = std::make_unique<obs::ShardSinkHub>(cfg.num_nodes);
+    obs::ShardSinkHub* hub = obs_hub_.get();
+    group_->set_sink_hooks(sim::ShardGroup::SinkHooks{
+        [hub](int s, sim::Simulation* s_sim) { hub->bind(s, s_sim); },
+        [hub] { hub->unbind(); },
+        [hub] { hub->merge(); }});
     for (int i = 0; i < cfg.num_nodes; ++i) {
       nodes_.push_back(std::make_unique<Node>(*shard_sims_[i], cfg.node,
                                               "node" + std::to_string(i)));
@@ -257,7 +289,11 @@ void Cluster::wire_backend(Backend which, const net::NetConfig& net_cfg,
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Every public run_* merges at its exit fence, so this only catches
+  // ops buffered by direct shard_sims_ stepping in tests.
+  if (obs_hub_) obs_hub_->merge();
+}
 
 sim::Simulation& Cluster::sim() {
   if (group_) {
@@ -278,14 +314,154 @@ sim::Simulation& Cluster::node_sim(int i) {
   return group_ ? *shard_sims_[static_cast<std::size_t>(i)] : sim_;
 }
 
+// --- Execution facade ------------------------------------------------
+//
+// Without sampling each call maps 1:1 onto the underlying engine. With
+// sampling the facade segments the run at fixed sim-time boundaries:
+// run to min(goal, next boundary), and at each boundary — a fence, so
+// the merged sinks are current — record one telemetry row. The
+// *_before primitives guarantee segmentation never changes which
+// events execute or in what order, only where the engine pauses.
+
+bool Cluster::sampling_on() const {
+  return sample_every_ > 0 && obs::timeseries() != nullptr;
+}
+
+bool Cluster::run_until(const std::function<bool()>& predicate) {
+  if (!sampling_on()) {
+    return group_ ? group_->run_until_global(predicate)
+                  : sim_.run_until_condition(predicate);
+  }
+  for (;;) {
+    if (group_) {
+      switch (group_->run_until_global_before(predicate, next_sample_)) {
+        case sim::ShardGroup::Outcome::kFired:
+          return true;
+        case sim::ShardGroup::Outcome::kStopped:
+          return false;
+        case sim::ShardGroup::Outcome::kDeadline:
+          break;
+      }
+    } else {
+      switch (sim_.run_until_condition_before(predicate, next_sample_)) {
+        case sim::Simulation::RunOutcome::kFired:
+          return true;
+        case sim::Simulation::RunOutcome::kDrained:
+          return false;
+        case sim::Simulation::RunOutcome::kDeadline:
+          break;
+      }
+    }
+    sample_telemetry();
+    next_sample_ += sample_every_;
+  }
+}
+
 bool Cluster::run_until_each(std::vector<sim::ShardCond> conds) {
-  if (group_) return group_->run_until_local(std::move(conds));
-  return sim_.run_until_condition([&conds] {
+  if (!sampling_on()) {
+    if (group_) return group_->run_until_local(std::move(conds));
+    return sim_.run_until_condition([&conds] {
+      for (const sim::ShardCond& c : conds) {
+        if (!c.pred()) return false;
+      }
+      return true;
+    });
+  }
+  const std::function<bool()> all = [&conds] {
     for (const sim::ShardCond& c : conds) {
       if (!c.pred()) return false;
     }
     return true;
-  });
+  };
+  for (;;) {
+    if (group_) {
+      // Conditions are monotone (the run_until_local contract), so
+      // re-presenting already-fired ones across segments is harmless.
+      switch (group_->run_until_local_before(conds, next_sample_)) {
+        case sim::ShardGroup::Outcome::kFired:
+          return true;
+        case sim::ShardGroup::Outcome::kStopped:
+          return false;
+        case sim::ShardGroup::Outcome::kDeadline:
+          break;
+      }
+    } else {
+      switch (sim_.run_until_condition_before(all, next_sample_)) {
+        case sim::Simulation::RunOutcome::kFired:
+          return true;
+        case sim::Simulation::RunOutcome::kDrained:
+          return false;
+        case sim::Simulation::RunOutcome::kDeadline:
+          break;
+      }
+    }
+    sample_telemetry();
+    next_sample_ += sample_every_;
+  }
+}
+
+std::uint64_t Cluster::run_for(SimDuration d) {
+  if (!sampling_on()) {
+    if (group_) return group_->run_for(d);
+    return sim_.run_until(sim_.now() + d);
+  }
+  const SimTime goal = now() + d;
+  std::uint64_t executed = 0;
+  while (next_sample_ <= goal) {
+    executed += group_ ? group_->run_until_time(next_sample_)
+                       : sim_.run_until(next_sample_);
+    sample_telemetry();
+    next_sample_ += sample_every_;
+  }
+  executed += group_ ? group_->run_until_time(goal) : sim_.run_until(goal);
+  return executed;
+}
+
+void Cluster::sample_telemetry() {
+  obs::TimeSeries* ts = obs::timeseries();
+  if (ts == nullptr) return;
+  std::map<std::string, double> v;
+  const double interval_us =
+      static_cast<double>(sample_every_) / static_cast<double>(kMicrosecond);
+  for (Backend b : {Backend::kExtoll, Backend::kIb}) {
+    const auto& links = b == Backend::kExtoll ? extoll_links_ : ib_links_;
+    if (links.empty()) continue;
+    const std::string bname = b == Backend::kExtoll ? "extoll" : "ib";
+    std::uint64_t frames = 0;
+    for (const LinkReport& r : link_reports(b)) {
+      v["net." + r.label + ".util"] = r.utilization;
+      v["net." + r.label + ".qdepth_p99"] =
+          static_cast<double>(r.queue_depth_p99);
+      frames += r.frames;
+    }
+    const net::FabricTotals t = fabric_totals(b);
+    v["net." + bname + ".link_frames"] = static_cast<double>(frames);
+    v["net." + bname + ".delivered_frames"] =
+        static_cast<double>(t.frames_delivered);
+    v["net." + bname + ".delivered_bytes"] =
+        static_cast<double>(t.bytes_delivered);
+    const std::size_t bi = b == Backend::kExtoll ? 0 : 1;
+    v["net." + bname + ".msg_rate_per_us"] =
+        interval_us > 0.0
+            ? static_cast<double>(t.frames_delivered - prev_delivered_[bi]) /
+                  interval_us
+            : 0.0;
+    prev_delivered_[bi] = t.frames_delivered;
+  }
+  if (const obs::FlowTable* f = obs::flows()) {
+    const obs::FlowTable::Breakdown& g = f->current();
+    v["flow.completed"] = static_cast<double>(g.completed);
+    v["flow.e2e_p50_ns"] = static_cast<double>(g.e2e_ns.percentile(0.50));
+    v["flow.e2e_p95_ns"] = static_cast<double>(g.e2e_ns.percentile(0.95));
+    v["flow.e2e_p99_ns"] = static_cast<double>(g.e2e_ns.percentile(0.99));
+    for (const obs::FlowTable::StageStats& s : g.stages) {
+      const std::string base = "flow.stage." + s.name;
+      v[base + ".p50_ns"] = static_cast<double>(s.ns.percentile(0.50));
+      v[base + ".p95_ns"] = static_cast<double>(s.ns.percentile(0.95));
+      v[base + ".p99_ns"] = static_cast<double>(s.ns.percentile(0.99));
+    }
+  }
+  ts->sample(now(), v);
 }
 
 Node& Cluster::node(int i) {
@@ -378,6 +554,7 @@ void Cluster::publish_link_metrics() const {
     const std::string bname = b == Backend::kExtoll ? "extoll" : "ib";
     obs::Log2Histogram& depth = m->histogram("net." + bname + ".queue_depth");
     std::uint64_t stalls = 0;
+    std::uint64_t link_frames = 0;
     for (const LinkReport& r : link_reports(b)) {
       m->gauge("net." + r.label + ".utilization").set(r.utilization);
       m->counter("net." + r.label + ".frames").add(r.frames);
@@ -385,6 +562,7 @@ void Cluster::publish_link_metrics() const {
           .add(r.forwarded_frames);
       m->counter("net." + r.label + ".stalls").add(r.stalls);
       stalls += r.stalls;
+      link_frames += r.frames;
     }
     for (const auto& link : links) {
       for (int side = 0; side < 2; ++side) {
@@ -392,6 +570,20 @@ void Cluster::publish_link_metrics() const {
       }
     }
     m->counter("net." + bname + ".contention_stalls").add(stalls);
+    // Frame-conservation audit (fabric_totals()), as metrics: once the
+    // fabric has drained, link_frames == frames_originated +
+    // frames_forwarded and frames_delivered == frames_originated. A
+    // metrics diff that violates either identity means frames were
+    // dropped or double-counted somewhere in the relay path.
+    const net::FabricTotals t = fabric_totals(b);
+    const std::string fab = "net." + bname + ".fabric.";
+    m->counter(fab + "frames_originated").add(t.frames_originated);
+    m->counter(fab + "bytes_originated").add(t.bytes_originated);
+    m->counter(fab + "frames_forwarded").add(t.frames_forwarded);
+    m->counter(fab + "bytes_forwarded").add(t.bytes_forwarded);
+    m->counter(fab + "frames_delivered").add(t.frames_delivered);
+    m->counter(fab + "bytes_delivered").add(t.bytes_delivered);
+    m->counter(fab + "link_frames").add(link_frames);
   }
 }
 

@@ -15,13 +15,24 @@
 // route is single-hop and behaviour is identical to the pre-fabric
 // link wiring.
 //
-// With cfg.threads > 1 the cluster runs on the parallel discrete-event
-// engine (sim/parallel.h): every node owns its own event shard and the
-// network links are the shard boundaries, with the smaller of the two
-// backends' flight latencies as the conservative lookahead. Execution
-// is deterministic and byte-identical to the single-threaded engine for
-// any thread count; host code drives both modes through the same
-// facade (now / run_until / run_until_each / run_for).
+// Routed-topology clusters (and any cluster with cfg.threads > 1) run
+// on the parallel discrete-event engine (sim/parallel.h): every node
+// owns its own event shard and the network links are the shard
+// boundaries, with the smaller of the two backends' flight latencies
+// as the conservative lookahead. Execution is deterministic and
+// byte-identical to the single-threaded engine for any thread count;
+// host code drives both modes through the same facade (now / run_until
+// / run_until_each / run_for).
+//
+// Observability runs on the parallel engine too: when sharded, the
+// cluster wires an obs::ShardSinkHub into the group's sink hooks, so
+// traced / metered / flow-tracked runs buffer per-shard and merge
+// deterministically at fences — trace, metrics, flow and time-series
+// JSON are byte-identical at any thread count. With
+// cfg.sample_every > 0 and an attached obs::TimeSeries, the facade
+// additionally segments runs at fixed sim-time boundaries and records
+// one telemetry row per boundary (per-link utilization / queue depth,
+// per-backend message rate, flow-stage quantiles).
 #pragma once
 
 #include <memory>
@@ -35,6 +46,10 @@
 #include "sim/simulation.h"
 #include "sys/node.h"
 
+namespace pg::obs {
+class ShardSinkHub;
+}
+
 namespace pg::sys {
 
 struct ClusterConfig {
@@ -43,11 +58,27 @@ struct ClusterConfig {
   net::NetConfig ib_net;
   int num_nodes = 2;
   net::Topology topology = net::Topology::kPair;
-  /// Worker threads for the event engine. 1 = the classic single-heap
-  /// engine; >1 = one event shard per node, executed by min(threads,
-  /// num_nodes) workers. Requires positive link latency on every
-  /// enabled backend (the latency is the synchronization lookahead).
+  /// Worker threads for the event engine: min(threads, num_nodes)
+  /// workers execute one event shard per node. Routed topologies run
+  /// sharded at every thread count (threads = 1 steps the shards with a
+  /// single worker), so observability output is independent of T; the
+  /// pair topology keeps the classic single-heap engine at threads = 1
+  /// for the two-node experiment drivers. threads > 1 requires positive
+  /// link latency on every enabled backend (the latency is the
+  /// synchronization lookahead).
   int threads = 1;
+  /// Measurement escape hatch: pin the classic single-heap engine even
+  /// on routed topologies (requires threads == 1; also disables the
+  /// PG_FORCE_THREADS override). Only for A/B-timing the engines, as in
+  /// simcore_perf's sequential-traced baseline row — the classic heap
+  /// tie-breaks same-timestamp events with one global counter, so its
+  /// serialized sink output is NOT byte-comparable with sharded runs.
+  bool force_classic_engine = false;
+  /// Telemetry sample interval in simulated time; 0 = off. With an
+  /// attached obs::TimeSeries the cluster records one sample row per
+  /// interval (see obs/timeseries.h). Sampling never changes which
+  /// events execute, only where the facade fences between them.
+  SimDuration sample_every = 0;
 };
 
 class Cluster {
@@ -151,10 +182,7 @@ class Cluster {
   /// drained or the event limit tripped first. The predicate may read
   /// state anywhere in the cluster; when sharded this runs on the exact
   /// merged-sequential path.
-  bool run_until(const std::function<bool()>& predicate) {
-    return group_ ? group_->run_until_global(predicate)
-                  : sim_.run_until_condition(predicate);
-  }
+  bool run_until(const std::function<bool()>& predicate);
 
   /// Runs until every per-node condition has fired (conds index nodes =
   /// shards; monotone, node-local predicates only). Equivalent to
@@ -164,10 +192,7 @@ class Cluster {
 
   /// Runs events for `d` of simulated time and advances the clock to
   /// now() + d.
-  std::uint64_t run_for(SimDuration d) {
-    if (group_) return group_->run_for(d);
-    return sim_.run_until(sim_.now() + d);
-  }
+  std::uint64_t run_for(SimDuration d);
 
   /// Determinism fingerprint: total events ever scheduled, summed over
   /// shards when sharded (identical to the single-heap count).
@@ -187,8 +212,19 @@ class Cluster {
   Route first_hop(const std::vector<std::unique_ptr<net::NetworkLink>>& links,
                   int from, int to) const;
 
+  /// True when the facade must segment runs at sample boundaries: a
+  /// positive interval was configured and a TimeSeries is attached.
+  bool sampling_on() const;
+  /// Records one telemetry row at the current (fenced) clock: per-link
+  /// utilization / queue depth, per-backend delivery counts and message
+  /// rate over the last interval, flow end-to-end and stage quantiles.
+  void sample_telemetry();
+
   sim::Simulation sim_;  // the single heap (unsharded mode)
   std::vector<std::unique_ptr<sim::Simulation>> shard_sims_;
+  // Declared before group_ so the hub outlives the workers that hold
+  // bindings into it (destroyed after group_ joins them).
+  std::unique_ptr<obs::ShardSinkHub> obs_hub_;
   std::unique_ptr<sim::ShardGroup> group_;
   std::vector<std::unique_ptr<Node>> nodes_;
   net::FabricPlan plan_;
@@ -197,6 +233,11 @@ class Cluster {
   std::vector<std::unique_ptr<net::NetworkLink>> ib_links_;
   std::vector<std::unique_ptr<net::Switch>> extoll_switches_;
   std::vector<std::unique_ptr<net::Switch>> ib_switches_;
+  SimDuration sample_every_ = 0;
+  SimTime next_sample_ = 0;
+  // Delivered-frame totals at the previous sample, per backend
+  // (index = Backend), for the message-rate delta.
+  std::uint64_t prev_delivered_[2] = {0, 0};
 };
 
 }  // namespace pg::sys

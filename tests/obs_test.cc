@@ -8,10 +8,13 @@
 #include <cstring>
 #include <string>
 
+#include "obs/flow.h"
 #include "obs/metrics.h"
+#include "obs/shard_sink.h"
 #include "obs/trace.h"
 #include "putget/extoll_experiments.h"
 #include "putget/modes.h"
+#include "sim/simulation.h"
 #include "sys/testbed.h"
 
 namespace pg {
@@ -325,6 +328,118 @@ TEST(ObsEndToEnd, TracingDoesNotPerturbSimulation) {
                 json, putget::op_label("extoll-pingpong",
                                        putget::TransferMode::kGpuDirect, 64)),
             2u);  // process_name metadata + the op span itself
+}
+
+// ---------------------------------------------------------------------------
+// Shard-aware sink merge (obs/shard_sink.h): the post-round replay must
+// erase the shard execution order entirely, keep per-event program
+// order, and never let a provisional flow id reach serialized output.
+
+struct MergedOutput {
+  std::string trace, metrics, flows;
+};
+
+/// Two shards' worth of instrumented events, executed one whole shard
+/// at a time in the given order — the extreme interleavings a round's
+/// claim race can produce — then merged once at the fence.
+MergedOutput run_interleaved_merge(bool shard0_first) {
+  sim::Simulation sims[2];
+  sims[0].set_shard_tag(0);
+  sims[1].set_shard_tag(1);
+  obs::ShardSinkHub hub(2);
+
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry met;
+  obs::FlowTable flow;
+  obs::attach_recorder(&rec);
+  obs::attach_metrics(&met);
+  obs::attach_flows(&flow);
+  obs::begin_unit("merge-unit");
+  flow.begin_unit("merge-unit");
+
+  // Shard 0 begins a flow, records a span whose rendered args capture
+  // the (still provisional) id, and parks the flow on a correlation
+  // channel for shard 1. Timestamps interleave with shard 1's events so
+  // the merge has to reorder across buffers.
+  sims[0].schedule_at(nanoseconds(10), [&] {
+    const obs::FlowId f = obs::flow_begin(sims[0].now());
+    obs::flow_stage(f, "n0", "post", sims[0].now());
+    obs::span("n0.dma", "dma", "dma-read", sims[0].now(),
+              sims[0].now() + nanoseconds(5), {{"flow", f}});
+    obs::flow_push(0x7001, f);
+    obs::count("n0.ops");
+  });
+  sims[0].schedule_at(nanoseconds(30), [&] {
+    obs::instant("n0.dma", "poll", "first", sims[0].now());
+    obs::instant("n0.dma", "poll", "second", sims[0].now());
+    obs::observe("n0.lat_ns", 64);
+  });
+  sims[1].schedule_at(nanoseconds(20), [&] {
+    obs::instant("n1.nic", "rx", "frame", sims[1].now());
+    obs::count("n1.ops");
+  });
+  sims[1].schedule_at(nanoseconds(40), [&] {
+    const obs::FlowId f = obs::flow_pop(0x7001);
+    obs::flow_stage(f, "n1", "wire", sims[1].now());
+    obs::flow_end(f, "n1", sims[1].now());
+  });
+
+  const int order[2] = {shard0_first ? 0 : 1, shard0_first ? 1 : 0};
+  for (const int i : order) {
+    hub.bind(i, &sims[i]);
+    sims[i].run();
+    hub.unbind();
+  }
+  hub.merge();
+
+  obs::attach_recorder(nullptr);
+  obs::attach_metrics(nullptr);
+  obs::attach_flows(nullptr);
+  return {rec.to_json(), met.snapshot_json(), flow.snapshot_json()};
+}
+
+TEST(ShardMerge, OutputIndependentOfShardExecutionOrder) {
+  const MergedOutput a = run_interleaved_merge(true);
+  const MergedOutput b = run_interleaved_merge(false);
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_TRUE(JsonChecker(a.trace).valid()) << a.trace;
+  EXPECT_TRUE(JsonChecker(a.flows).valid()) << a.flows;
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.flows, b.flows);
+}
+
+TEST(ShardMerge, ReplayFollowsEventKeyOrderAndProgramOrder) {
+  const MergedOutput out = run_interleaved_merge(/*shard0_first=*/false);
+  // Cross-shard key order: the shard-1 instant at t=20 lands between
+  // the shard-0 events at t=10 and t=30 even though shard 1 executed
+  // its whole window first.
+  const std::size_t p10 = out.trace.find("dma-read");
+  const std::size_t p20 = out.trace.find("\"frame\"");
+  const std::size_t p30 = out.trace.find("\"first\"");
+  ASSERT_NE(p10, std::string::npos);
+  ASSERT_NE(p20, std::string::npos);
+  ASSERT_NE(p30, std::string::npos);
+  EXPECT_LT(p10, p20);
+  EXPECT_LT(p20, p30);
+  // Ops of one event share a merge key; the stable sort keeps their
+  // program order.
+  EXPECT_LT(p30, out.trace.find("\"second\""));
+}
+
+TEST(ShardMerge, ProvisionalFlowIdsNeverReachSerializedOutput) {
+  const MergedOutput out = run_interleaved_merge(true);
+  // The span captured its "flow" argument while the id was provisional
+  // (bit 63 set); the merge rewrites it to the canonical id minted at
+  // replay, so the trace correlates with the flow table's JSON.
+  EXPECT_NE(out.trace.find("\"flow\":1"), std::string::npos) << out.trace;
+  EXPECT_EQ(out.trace.find("922337"), std::string::npos) << out.trace;
+  EXPECT_EQ(out.flows.find("922337"), std::string::npos) << out.flows;
+  // The cross-shard handoff stitched into one flow: begun on shard 0,
+  // ended on shard 1, with stages from both sides.
+  for (const char* needle : {"\"post\"", "\"wire\""}) {
+    EXPECT_NE(out.flows.find(needle), std::string::npos) << needle;
+  }
 }
 
 }  // namespace

@@ -1,14 +1,19 @@
 // Tests for the conservative parallel discrete-event engine: shard
 // boundary edge cases (zero-latency rejection, same-timestamp cross-
 // shard ordering, shard-local cancels), exact-stop semantics of the
-// local-condition wait, and thread-count-independence fingerprints on
-// the real multi-node workloads.
+// local-condition wait, thread-count-independence fingerprints on the
+// real multi-node workloads, and byte-identity of every observability
+// sink's serialized output across thread counts.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/flow.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "putget/ring_workload.h"
 #include "sim/parallel.h"
 #include "sim/simulation.h"
@@ -201,6 +206,39 @@ TEST(ShardedCluster, ThreadCountValidation) {
   EXPECT_TRUE(sys::Cluster::validate(cfg).is_ok());
 }
 
+TEST(ShardedCluster, ForceClassicEngineValidation) {
+  sys::ClusterConfig cfg = sys::default_testbed();
+  cfg.force_classic_engine = true;
+  EXPECT_TRUE(sys::Cluster::validate(cfg).is_ok());
+  cfg.threads = 4;  // the escape hatch pins the single heap
+  EXPECT_FALSE(sys::Cluster::validate(cfg).is_ok());
+}
+
+// The measurement escape hatch must not change physics: the classic
+// single-heap engine and the sharded engine agree on every fingerprint
+// of the routed ring workload. (Their *sink ordering* may differ —
+// that is the documented reason routed clusters shard by default — but
+// checksums, event counts, clocks and deliveries are engine-invariant.)
+TEST(ShardedCluster, ClassicEngineMatchesShardedFingerprint) {
+  sys::ClusterConfig cfg = sys::default_testbed();
+  cfg.num_nodes = 3;
+  cfg.topology = net::Topology::kRing;
+  putget::RingConfig ring;
+  ring.backend = putget::RingBackend::kExtoll;
+  ring.cells_per_node = 16;
+  ring.iterations = 8;
+  ring.threads = 1;
+  const putget::RingResult sharded = putget::run_ring_halo_exchange(cfg, ring);
+  ASSERT_TRUE(sharded.verified);
+  cfg.force_classic_engine = true;
+  const putget::RingResult classic = putget::run_ring_halo_exchange(cfg, ring);
+  ASSERT_TRUE(classic.verified);
+  EXPECT_EQ(classic.checksum, sharded.checksum);
+  EXPECT_EQ(classic.events_scheduled, sharded.events_scheduled);
+  EXPECT_EQ(classic.sim_time_us, sharded.sim_time_us);
+  EXPECT_EQ(classic.delivered, sharded.delivered);
+}
+
 // --- Fingerprint equality on the real workload -----------------------------
 
 // The hard gate of the parallel engine: for any thread count, the ring
@@ -272,6 +310,110 @@ TEST(ShardedCluster, MultiHopFingerprintIndependentOfThreads) {
         EXPECT_EQ(par.sim_time_us, seq.sim_time_us) << name;
         EXPECT_EQ(par.delivered, seq.delivered) << name;
       }
+    }
+  }
+}
+
+// --- Shard-aware observability: parity across thread counts ----------------
+
+struct SinkSnapshot {
+  putget::RingResult result;
+  std::string trace;
+  std::string metrics;
+  std::string flows;
+  std::string timeseries;
+};
+
+sys::ClusterConfig obs_cluster(net::Topology topo) {
+  sys::ClusterConfig cfg = sys::default_testbed();
+  cfg.num_nodes = topo == net::Topology::kRing ? 3 : 8;
+  cfg.topology = topo;
+  cfg.sample_every = microseconds(50);
+  return cfg;
+}
+
+putget::RingConfig obs_ring(putget::RingBackend backend, int threads) {
+  putget::RingConfig ring;
+  ring.backend = backend;
+  ring.cells_per_node = 16;
+  ring.iterations = 4;
+  ring.threads = threads;
+  return ring;
+}
+
+/// Runs the halo exchange with every sink attached and snapshots all
+/// four serialized outputs.
+SinkSnapshot run_traced(net::Topology topo, putget::RingBackend backend,
+                        int threads) {
+  obs::TraceRecorder rec;
+  obs::MetricsRegistry met;
+  obs::FlowTable flow;
+  obs::TimeSeries ts;
+  obs::attach_recorder(&rec);
+  obs::attach_metrics(&met);
+  obs::attach_flows(&flow);
+  obs::attach_timeseries(&ts);
+  SinkSnapshot s;
+  s.result =
+      putget::run_ring_halo_exchange(obs_cluster(topo), obs_ring(backend, threads));
+  obs::attach_recorder(nullptr);
+  obs::attach_metrics(nullptr);
+  obs::attach_flows(nullptr);
+  obs::attach_timeseries(nullptr);
+  s.trace = rec.to_json();
+  s.metrics = met.snapshot_json();
+  s.flows = flow.snapshot_json();
+  s.timeseries = ts.snapshot_json();
+  return s;
+}
+
+// Attaching the sinks (and the telemetry sampling fences that come with
+// them) must not change what the simulation computes: same checksum,
+// same event fingerprint, same clock, at every thread count.
+TEST(ShardedObs, TracedRunMatchesUntracedFingerprint) {
+  for (const net::Topology topo :
+       {net::Topology::kRing, net::Topology::kTorus2D, net::Topology::kFatTree}) {
+    for (const auto backend :
+         {putget::RingBackend::kExtoll, putget::RingBackend::kIb}) {
+      for (int threads : {1, 4}) {
+        const putget::RingResult bare = putget::run_ring_halo_exchange(
+            obs_cluster(topo), obs_ring(backend, threads));
+        const SinkSnapshot traced = run_traced(topo, backend, threads);
+        const std::string name = std::string(net::topology_name(topo)) + " " +
+                                 putget::ring_backend_name(backend) + " t=" +
+                                 std::to_string(threads);
+        ASSERT_TRUE(bare.verified) << name;
+        ASSERT_TRUE(traced.result.verified) << name;
+        EXPECT_EQ(traced.result.checksum, bare.checksum) << name;
+        EXPECT_EQ(traced.result.events_scheduled, bare.events_scheduled)
+            << name;
+        EXPECT_EQ(traced.result.sim_time_us, bare.sim_time_us) << name;
+        EXPECT_EQ(traced.result.delivered, bare.delivered) << name;
+      }
+    }
+  }
+}
+
+// The tentpole gate: every serialized sink output — trace, metrics,
+// flows, time series — is byte-identical between the one-worker and
+// four-worker runs, for both backends on every routed topology.
+TEST(ShardedObs, SinkOutputByteIdenticalAcrossThreads) {
+  for (const net::Topology topo :
+       {net::Topology::kRing, net::Topology::kTorus2D, net::Topology::kFatTree}) {
+    for (const auto backend :
+         {putget::RingBackend::kExtoll, putget::RingBackend::kIb}) {
+      const SinkSnapshot t1 = run_traced(topo, backend, 1);
+      const SinkSnapshot t4 = run_traced(topo, backend, 4);
+      const std::string name = std::string(net::topology_name(topo)) + " " +
+                               putget::ring_backend_name(backend);
+      ASSERT_TRUE(t1.result.verified) << name;
+      ASSERT_TRUE(t4.result.verified) << name;
+      EXPECT_FALSE(t1.trace.empty()) << name;
+      EXPECT_FALSE(t1.timeseries.empty()) << name;
+      EXPECT_EQ(t1.trace, t4.trace) << name;
+      EXPECT_EQ(t1.metrics, t4.metrics) << name;
+      EXPECT_EQ(t1.flows, t4.flows) << name;
+      EXPECT_EQ(t1.timeseries, t4.timeseries) << name;
     }
   }
 }
